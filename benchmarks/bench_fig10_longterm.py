@@ -1,0 +1,87 @@
+"""Figure 10 — long-term view: allocated, routed, pingable, observed,
+estimated 2003-2014.
+
+Splices the published pre-2011 series (USC/LANDER pings, RIR allocation
+and Route Views magnitudes) with the simulator's window series (scaled
+to real units) and checks the figure's qualitative content: allocation
+boom then slowdown; pingable addresses growing far slower than
+allocated until 2011; and the estimated-used curve climbing much faster
+than the pingable one.
+"""
+
+import numpy as np
+
+from repro.analysis.growth import series_from_results
+from repro.analysis.report import format_table, to_real
+from repro.data.historical import (
+    allocated_addresses_series,
+    historical_ping_series,
+    routed_addresses_series,
+)
+from benchmarks.conftest import BENCH_SCALE
+
+
+def build_panorama(all_window_results):
+    sim = series_from_results(all_window_results, "addresses")
+    ping_hist_t, ping_hist = historical_ping_series()
+    alloc_t, alloc = allocated_addresses_series()
+    routed_t, routed = routed_addresses_series()
+    sim_ping = [
+        to_real(r.ping_addresses, BENCH_SCALE) / 1e6
+        for r in all_window_results
+    ]
+    sim_obs = to_real(sim.observed, BENCH_SCALE) / 1e6
+    sim_est = to_real(sim.estimated, BENCH_SCALE) / 1e6
+    return {
+        "historical_ping": (ping_hist_t, ping_hist),
+        "allocated": (alloc_t, alloc),
+        "routed": (routed_t, routed),
+        "sim_times": sim.window_ends,
+        "sim_ping": np.array(sim_ping),
+        "sim_observed": sim_obs,
+        "sim_estimated": sim_est,
+    }
+
+
+def test_fig10_longterm(benchmark, all_window_results):
+    data = benchmark.pedantic(
+        build_panorama, args=(all_window_results,), rounds=1, iterations=1
+    )
+    rows = []
+    alloc_t, alloc = data["allocated"]
+    for t, v in zip(*data["historical_ping"]):
+        rows.append([f"{t:.1f}", f"{v:.0f}", "-", "-", "(published)"])
+    for i, t in enumerate(data["sim_times"]):
+        rows.append([
+            f"{t:.2f}",
+            f"{data['sim_ping'][i]:.0f}",
+            f"{data['sim_observed'][i]:.0f}",
+            f"{data['sim_estimated'][i]:.0f}",
+            "(simulated)",
+        ])
+    print()
+    print(format_table(
+        ["year", "pingable[M]", "observed[M]", "estimated[M]", "source"],
+        rows,
+        title="Figure 10 — pingable / observed / estimated used IPv4 "
+              "addresses, 2003-2014 (millions)",
+    ))
+
+    # Allocation boom 2004-2011 then slowdown (asserted on the series).
+    boom_rate = (alloc[list(alloc_t).index(2011.0)]
+                 - alloc[list(alloc_t).index(2004.0)]) / 7
+    tail_rate = (alloc[-1] - alloc[list(alloc_t).index(2012.0)]) / 2.5
+    assert boom_rate > 2 * tail_rate
+    # The published ping series joins the simulated one continuously
+    # (within a factor ~2 at the 2011/2012 seam).
+    seam_hist = data["historical_ping"][1][-1]
+    seam_sim = data["sim_ping"][0]
+    assert 0.4 < seam_sim / seam_hist < 2.5
+    # Estimated used grows much faster than pingable (paper's headline
+    # of the figure).
+    est_growth = data["sim_estimated"][-1] - data["sim_estimated"][0]
+    ping_growth = data["sim_ping"][-1] - data["sim_ping"][0]
+    assert est_growth > 1.5 * ping_growth
+    # Estimated stays below routed at all simulated times.
+    routed_t, routed = data["routed"]
+    assert data["sim_estimated"][-1] < routed[-1] * 1.1

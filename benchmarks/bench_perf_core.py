@@ -1,0 +1,84 @@
+"""Performance microbenchmarks for the hot paths.
+
+Unlike the table/figure benches (one-shot experiment reproductions),
+these time the substrate operations that dominate a full pipeline run:
+IPSet algebra, capture-history tabulation, Poisson IRLS fits and
+vacancy histograms.  They guard against performance regressions — a
+full 11-window campaign runs hundreds of each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.design import main_effect_terms
+from repro.core.glm import fit_poisson
+from repro.core.histories import tabulate_histories
+from repro.core.loglinear import LoglinearModel
+from repro.ipspace.blocks import vacant_block_histogram
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.ipset import IPSet
+
+RNG = np.random.default_rng(1)
+N = 300_000
+
+
+@pytest.fixture(scope="module")
+def big_sets():
+    a = IPSet(RNG.integers(0, 2**32, N, dtype=np.uint64).astype(np.uint32))
+    b = IPSet(RNG.integers(0, 2**32, N, dtype=np.uint64).astype(np.uint32))
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def nine_sources():
+    pop = np.sort(
+        RNG.choice(2**31, size=N, replace=False)
+    ).astype(np.uint32)
+    return {
+        f"s{i}": IPSet.from_sorted_unique(pop[RNG.random(N) < 0.3])
+        for i in range(9)
+    }
+
+
+def test_perf_ipset_union(benchmark, big_sets):
+    a, b = big_sets
+    result = benchmark(lambda: a | b)
+    assert len(result) >= max(len(a), len(b))
+
+
+def test_perf_ipset_membership(benchmark, big_sets):
+    a, b = big_sets
+    probes = b.addresses
+    result = benchmark(lambda: a.contains(probes))
+    assert result.shape == probes.shape
+
+
+def test_perf_tabulate_nine_sources(benchmark, nine_sources):
+    table = benchmark(lambda: tabulate_histories(nine_sources))
+    assert table.num_sources == 9
+
+
+def test_perf_poisson_irls(benchmark, nine_sources):
+    table = tabulate_histories(nine_sources)
+    from repro.core.design import design_matrix
+
+    X, _ = design_matrix(9, main_effect_terms(9))
+    y = table.counts[1:].astype(float)
+    fit = benchmark(lambda: fit_poisson(X, y))
+    assert np.isfinite(fit.loglik)
+
+
+def test_perf_llm_estimate(benchmark, nine_sources):
+    table = tabulate_histories(nine_sources)
+    model = LoglinearModel(9, main_effect_terms(9))
+    est = benchmark(lambda: model.fit(table).estimate())
+    assert est.population > 0
+
+
+def test_perf_vacancy_histogram(benchmark):
+    used = np.unique(
+        RNG.integers(0, 2**28, 200_000, dtype=np.uint64).astype(np.uint32)
+    )
+    universe = IntervalSet([(0, 2**28)])
+    hist = benchmark(lambda: vacant_block_histogram(used, universe))
+    assert hist.sum() > 0

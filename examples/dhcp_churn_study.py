@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Dynamic-address churn study (the paper's Section 4.6).
+
+The paper used 16 days of game-session logs with stable client IDs to
+show that long observation windows overcount *addresses* (2.7x growth
+after every client had been seen) far more than */24 subnets* (1.2x) —
+the argument for why /24-level estimates are robust to DHCP churn.
+This example reruns that experiment on the session simulator and prints
+the day-by-day table.
+
+Run:  python examples/dhcp_churn_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.simnet.dynamics import simulate_session_churn
+
+
+def main() -> None:
+    rng = np.random.default_rng(416)
+    obs = simulate_session_churn(rng, num_clients=200_000, num_days=16)
+
+    rows = []
+    for i, day in enumerate(obs.days):
+        marker = "  <- all clients seen" if i == obs.all_seen_day else ""
+        rows.append([
+            int(day),
+            int(obs.distinct_addresses[i]),
+            int(obs.distinct_subnets[i]),
+            f"{obs.distinct_addresses[i] / obs.distinct_subnets[i]:.2f}"
+            + marker,
+        ])
+    print(format_table(
+        ["day", "distinct IPs", "distinct /24s", "IPs per /24"],
+        rows,
+        title="16-day session experiment (paper Section 4.6)",
+    ))
+
+    addr_factor, subnet_factor = obs.growth_after_saturation()
+    print(
+        f"\nafter saturation: distinct IPs grew {addr_factor:.1f}x "
+        f"(paper: 2.7x), distinct /24s grew {subnet_factor:.1f}x "
+        "(paper: 1.2x)"
+    )
+    print("conclusion: /24 datasets are robust to dynamic addressing; "
+          "address datasets overcount standby pool space.")
+
+
+if __name__ == "__main__":
+    main()

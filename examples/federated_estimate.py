@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Federated estimation without sharing addresses (future work [33]).
+
+The paper closes by noting that privacy restrictions limit how much
+measurement data can be pooled, and proposes secure multi-source CR
+"without revealing which IPv4 addresses each source contains".  This
+example demonstrates the library's implementation of that idea: five
+operators blind their datasets through a shared-key PRF and publish
+only digests; the coordinator tabulates capture histories over digests
+and runs the ordinary log-linear machinery.  The result is bit-exact
+with the plaintext estimate, and the coordinator never sees an address.
+
+Run:  python examples/federated_estimate.py
+"""
+
+import numpy as np
+
+from repro import CaptureRecapture, EstimatorOptions, IPSet
+from repro.core.design import describe_terms
+from repro.core.histories import tabulate_histories
+from repro.core.loglinear import LoglinearModel
+from repro.core.private import (
+    blind_source,
+    generate_session_key,
+    tabulate_blinded,
+)
+from repro.core.selection import select_model
+
+rng = np.random.default_rng(33)
+
+# --- Five operators, one hidden population ----------------------------
+TRUE_POPULATION = 60_000
+population = np.sort(
+    rng.choice(2**32, TRUE_POPULATION, replace=False)
+).astype(np.uint32)
+visibility = rng.lognormal(-0.3, 0.75, TRUE_POPULATION)
+
+operators = {}
+for name, rate in [("isp-A", 0.5), ("cdn-B", 0.3), ("ixp-C", 0.4),
+                   ("uni-D", 0.2), ("dns-E", 0.25)]:
+    prob = -np.expm1(-rate * visibility)
+    operators[name] = IPSet.from_sorted_unique(
+        population[rng.random(TRUE_POPULATION) < prob]
+    )
+    print(f"operator {name:6s} holds {len(operators[name]):6d} addresses "
+          "(never shared)")
+
+# --- Each operator blinds locally; only digests travel ----------------
+key = generate_session_key()
+blinded = [blind_source(name, data, key) for name, data in operators.items()]
+print(f"\nexchanged: {sum(len(b) for b in blinded)} digests, 0 addresses")
+
+# --- Coordinator: tabulate + estimate over digests --------------------
+table = tabulate_blinded(blinded)
+selection = select_model(table, criterion="aic", divisor=1)
+estimate = selection.fit.estimate()
+print(f"\nfederated estimate: N = {estimate.population:.0f}")
+print(f"  selected model: "
+      f"{describe_terms(estimate.terms, table.source_names)}")
+
+# --- Sanity: identical to the (forbidden) plaintext computation -------
+plain_table = tabulate_histories(operators)
+plain = (
+    LoglinearModel(plain_table.num_sources, selection.fit.terms)
+    .fit(plain_table)
+    .estimate()
+)
+print(f"plaintext estimate (verification only): {plain.population:.0f}")
+print(f"true population: {TRUE_POPULATION}")
+assert abs(plain.population - estimate.population) < 1e-6
+print("\nfederated == plaintext, addresses never left their operators.")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate a population from incomplete address sources.
+
+This is the smallest end-to-end use of the library's public API: build
+a synthetic population, sample it with three biased "measurement
+sources", and compare the naive union, the two-sample Lincoln-Petersen
+baseline, and the paper's log-linear capture-recapture estimate against
+the known truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CaptureRecapture,
+    EstimatorOptions,
+    IPSet,
+    chao_estimate,
+    lincoln_petersen_from_sets,
+    tabulate_histories,
+)
+
+rng = np.random.default_rng(7)
+
+# --- A hidden population of 100k "used addresses" --------------------
+TRUE_POPULATION = 100_000
+population = np.sort(
+    rng.choice(2**32, size=TRUE_POPULATION, replace=False)
+).astype(np.uint32)
+
+# Hosts differ in how visible they are (heterogeneity): busy hosts show
+# up everywhere, quiet ones almost nowhere.  This is exactly what makes
+# naive counting undercount and Lincoln-Petersen biased.  More mutually
+# biased sources give the log-linear model the leverage to correct it —
+# the paper used nine.
+visibility = rng.lognormal(-0.32, 0.8, TRUE_POPULATION)
+
+sources = {}
+for name, rate in [("ping", 0.55), ("weblog", 0.35), ("netflow", 0.45),
+                   ("spamtrap", 0.20), ("gamelog", 0.28)]:
+    capture_prob = -np.expm1(-rate * visibility)
+    seen = rng.random(TRUE_POPULATION) < capture_prob
+    sources[name] = IPSet.from_sorted_unique(population[seen])
+    print(f"source {name:8s} observed {len(sources[name]):6d} addresses")
+
+# --- Naive union -------------------------------------------------------
+union = IPSet.empty().union(*sources.values())
+print(f"\nunion of all sources:      {len(union):7d}")
+
+# --- Two-sample Lincoln-Petersen (Section 3.2) -----------------------
+lp = lincoln_petersen_from_sets(sources["ping"], sources["weblog"])
+print(f"Lincoln-Petersen estimate: {lp.population:7.0f}  "
+      "(biased: the sources are positively dependent)")
+
+# --- Chao's heterogeneity lower bound ---------------------------------
+chao = chao_estimate(tabulate_histories(sources))
+print(f"Chao lower bound:          {chao.population:7.0f}")
+
+# --- Log-linear capture-recapture (Section 3.3) -----------------------
+# At this toy size AIC on raw counts is the right selection setting;
+# the paper's BIC + adaptive-divisor defaults are tuned for datasets
+# with millions of individuals (see Table 3 and EstimatorOptions).
+cr = CaptureRecapture(sources, EstimatorOptions(criterion="aic", divisor=1))
+estimate = cr.estimate()
+interval = cr.profile_interval(alpha=0.001)
+print(f"log-linear CR estimate:    {estimate.population:7.0f}  "
+      f"range [{interval.population_low:.0f}, {interval.population_high:.0f}]")
+print(f"  model: {estimate.describe()}")
+
+print(f"\ntrue population:           {TRUE_POPULATION:7d}")
+print(f"ghosts (unobserved truth): {TRUE_POPULATION - len(union):7d}; "
+      f"CR inferred {estimate.unseen:.0f} of them")

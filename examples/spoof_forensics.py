@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Spoofed-address forensics on NetFlow data (the paper's Section 4.5).
+
+Collects a year of NetFlow from the simulated Swinburne and Caltech
+access routers — contaminated with uniform spoofed source addresses
+from DDoS floods and decoy scans — then walks through the paper's
+two-stage removal heuristic step by step: empty-block calibration, the
+binomial /24 threshold, and the Bayes last-byte filter.  Because the
+simulator knows which addresses were genuinely used, the example ends
+with a confusion summary no real deployment could print.
+
+Run:  python examples/spoof_forensics.py
+"""
+
+import numpy as np
+
+from repro import IPSet, SimulationConfig, SyntheticInternet
+from repro.analysis.report import format_table
+from repro.filtering import SpoofFilter, detect_empty_blocks, preprocess_dataset
+from repro.sources import build_standard_sources
+from repro.sources.base import quarter_of
+
+WINDOW = (2013.5, 2014.5)
+
+
+def true_legitimate(source, routed, start, end):
+    """The spoof-free part of a NetFlow dataset (simulation privilege)."""
+    quarters = range(quarter_of(start), quarter_of(end - 1e-9) + 1)
+    chunks = [source.legitimate_quarter(q) for q in quarters]
+    legit = IPSet.from_sorted_unique(np.unique(np.concatenate(chunks)))
+    return legit.restrict(routed)
+
+
+def main() -> None:
+    internet = SyntheticInternet(SimulationConfig(scale=2.0**-12))
+    sources = build_standard_sources(internet)
+    start, end = WINDOW
+    routed = internet.routing.window(start, end)
+
+    print("collecting and preprocessing datasets ...")
+    datasets = {
+        name: preprocess_dataset(src.collect(start, end), routed).dataset
+        for name, src in sources.items()
+        if src.available_in(start, end)
+    }
+    references = (
+        datasets["WIKI"] | datasets["WEB"] | datasets["MLAB"]
+        | datasets["GAME"]
+    )
+
+    print("\nstep 1 — find 'empty' calibration blocks "
+          "(routed space the spoof-free sources never touch):")
+    candidates = [
+        a.prefix for a in internet.registry if a.routed_from < end
+    ]
+    empty = detect_empty_blocks(
+        datasets["SWIN"] | datasets["CALT"], references, candidates
+    )
+    for prefix in empty:
+        print(f"   {prefix}  ({prefix.size} addresses)")
+    planted = {str(a.prefix) for a in internet.darknet_allocations}
+    print(f"   (simulator actually planted: {sorted(planted)})")
+
+    rows = []
+    for name in ("SWIN", "CALT"):
+        spoof_filter = SpoofFilter(references, routed, empty, seed=42)
+        report = spoof_filter.apply(datasets[name])
+        legit = true_legitimate(sources[name], routed, start, end)
+        spoof_truth = datasets[name] - legit
+        kept = report.filtered
+        caught = len(spoof_truth) - kept.overlap_count(spoof_truth)
+        lost = len(legit) - kept.overlap_count(legit)
+        rows.append([
+            name,
+            len(datasets[name]),
+            f"{report.s_per_slash8:.0f}",
+            report.threshold_m,
+            report.removed_subnets,
+            report.removed_stage1 + report.removed_stage2,
+            f"{caught}/{len(spoof_truth)}",
+            f"{lost}/{len(legit)}",
+        ])
+    print()
+    print(format_table(
+        ["dataset", "input", "S per /8", "m", "/24s dropped", "addrs removed",
+         "spoof caught", "legit lost"],
+        rows,
+        title="step 2+3 — two-stage filtering vs ground truth",
+    ))
+    print("\n(the paper could only argue the filter works from "
+          "circumstantial evidence; here the confusion counts are exact)")
+
+
+if __name__ == "__main__":
+    main()

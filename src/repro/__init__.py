@@ -1,0 +1,75 @@
+"""repro — capture-recapture estimation of the used IPv4 address space.
+
+A production-quality reproduction of Zander, Andrew & Armitage,
+*"Capturing Ghosts: Predicting the Used IPv4 Space by Inferring
+Unobserved Addresses"* (IMC 2014): log-linear capture-recapture models
+over heterogeneous measurement sources, the full IPv4 address-space
+substrate they run on, a synthetic-Internet measurement simulator
+standing in for the paper's proprietary datasets, the spoofed-address
+filter, and the growth / unused-space / supply analyses.
+
+Quick start::
+
+    from repro import CaptureRecapture, IPSet
+
+    sources = {"ping": IPSet([...]), "weblog": IPSet([...]),
+               "netflow": IPSet([...])}
+    estimate = CaptureRecapture(sources).estimate()
+    print(estimate.population, estimate.unseen)
+
+For the full pipeline over the simulator, see
+:class:`repro.analysis.EstimationPipeline` and ``examples/``.
+"""
+
+from repro.core import (
+    CaptureRecapture,
+    ContingencyTable,
+    EstimatorOptions,
+    LoglinearModel,
+    PopulationEstimate,
+    chao_estimate,
+    lincoln_petersen_estimate,
+    lincoln_petersen_from_sets,
+    profile_likelihood_interval,
+    select_model,
+    stratified_estimate,
+    tabulate_histories,
+)
+from repro.ipspace import IntervalSet, IPSet, Prefix, PrefixTrie
+from repro.analysis import (
+    EstimationPipeline,
+    PipelineOptions,
+    TimeWindow,
+    standard_windows,
+)
+from repro.simnet import SimulationConfig, SyntheticInternet
+from repro.sources import build_standard_sources
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaptureRecapture",
+    "ContingencyTable",
+    "EstimationPipeline",
+    "EstimatorOptions",
+    "IPSet",
+    "IntervalSet",
+    "LoglinearModel",
+    "PipelineOptions",
+    "PopulationEstimate",
+    "Prefix",
+    "PrefixTrie",
+    "SimulationConfig",
+    "SyntheticInternet",
+    "TimeWindow",
+    "build_standard_sources",
+    "chao_estimate",
+    "lincoln_petersen_estimate",
+    "lincoln_petersen_from_sets",
+    "profile_likelihood_interval",
+    "select_model",
+    "standard_windows",
+    "stratified_estimate",
+    "tabulate_histories",
+    "__version__",
+]

@@ -1,0 +1,76 @@
+"""Router FIB-capacity accounting (the paper's Section 7.2.1).
+
+If every currently unused prefix were allocated and advertised, would
+router forwarding tables cope?  The paper counts prefixes of /24 or
+larger among the unused space, adds the existing routed table, and
+compares against published FIB capacities (about 2 M IPv4 routes for a
+2007 Juniper M120/MX960, ~10 M claimed feasible).  This module
+reproduces that arithmetic from a vacancy histogram and a routing
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ipspace.blocks import NUM_LEVELS
+
+#: Published FIB capacities the paper cites [30].
+FIB_CAPACITY_2007 = 2_000_000
+FIB_CAPACITY_FEASIBLE = 10_000_000
+
+
+@dataclass(frozen=True)
+class FibForecast:
+    """Routing-table size if the unused space were fully advertised."""
+
+    current_routes: int
+    unused_routable_prefixes: int
+    fib_capacity: int = FIB_CAPACITY_2007
+
+    @property
+    def total_routes(self) -> int:
+        return self.current_routes + self.unused_routable_prefixes
+
+    @property
+    def fits_current_hardware(self) -> bool:
+        return self.total_routes <= self.fib_capacity
+
+    @property
+    def fits_feasible_hardware(self) -> bool:
+        return self.total_routes <= FIB_CAPACITY_FEASIBLE
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the assumed FIB capacity consumed."""
+        return self.total_routes / self.fib_capacity
+
+
+def routable_unused_prefixes(vacancy: np.ndarray) -> int:
+    """Vacant prefixes that are /24 or larger (publicly routable).
+
+    ``vacancy`` is a maximal-vacant-block histogram (index = prefix
+    length); blocks longer than /24 are not routed on the public
+    Internet and are excluded, exactly as in the paper's 0.78 M figure.
+    """
+    vac = np.asarray(vacancy, dtype=np.float64)
+    if vac.shape != (NUM_LEVELS,):
+        raise ValueError(f"expected {NUM_LEVELS}-level vacancy histogram")
+    return int(round(vac[: 24 + 1].sum()))
+
+
+def forecast_fib(
+    vacancy: np.ndarray,
+    current_routes: int,
+    fib_capacity: int = FIB_CAPACITY_2007,
+) -> FibForecast:
+    """Build the Section 7.2.1 forecast from a vacancy histogram."""
+    if current_routes < 0:
+        raise ValueError("current route count must be non-negative")
+    return FibForecast(
+        current_routes=current_routes,
+        unused_routable_prefixes=routable_unused_prefixes(vacancy),
+        fib_capacity=fib_capacity,
+    )

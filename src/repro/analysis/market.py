@@ -1,0 +1,60 @@
+"""IPv4 address-market valuation (the paper's Section 8).
+
+Previous address sales ran US$8-17 per address; at an average of
+US$10/IP, the paper values the 4.4 M routed-but-unused /24 subnets at
+over US$11 billion.  This module reproduces that valuation from a
+supply estimate, with the paper's price band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Observed historical price band per address, US$ [31, 32].
+PRICE_LOW = 8.0
+PRICE_HIGH = 17.0
+PRICE_AVERAGE = 10.0
+
+ADDRESSES_PER_24 = 256
+
+
+@dataclass(frozen=True)
+class MarketValuation:
+    """Value of a pool of unused addresses at a price band."""
+
+    addresses: float
+    low: float
+    mid: float
+    high: float
+
+    def describe(self) -> str:
+        """One-line human summary of the valuation."""
+        return (
+            f"{self.addresses / 1e6:.0f} M addresses worth "
+            f"US${self.mid / 1e9:.1f} B "
+            f"(US${self.low / 1e9:.1f}-{self.high / 1e9:.1f} B)"
+        )
+
+
+def value_unused_space(
+    unused_addresses: float,
+    price_low: float = PRICE_LOW,
+    price_avg: float = PRICE_AVERAGE,
+    price_high: float = PRICE_HIGH,
+) -> MarketValuation:
+    """Value an unused-address pool at the paper's price band."""
+    if unused_addresses < 0:
+        raise ValueError("address count must be non-negative")
+    if not 0 < price_low <= price_avg <= price_high:
+        raise ValueError("prices must satisfy 0 < low <= avg <= high")
+    return MarketValuation(
+        addresses=unused_addresses,
+        low=unused_addresses * price_low,
+        mid=unused_addresses * price_avg,
+        high=unused_addresses * price_high,
+    )
+
+
+def value_unused_subnets(unused_24s: float, **prices) -> MarketValuation:
+    """Value unused /24 subnets (the paper's 4.4 M -> US$11 B check)."""
+    return value_unused_space(unused_24s * ADDRESSES_PER_24, **prices)

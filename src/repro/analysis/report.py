@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benches and examples.
+
+The benchmarks print the paper's tables and figure series as
+fixed-width text; this module keeps the formatting in one place and
+provides the scale-up helper that converts simulated counts back to
+real-Internet magnitudes for side-by-side comparison with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def to_real(value: float, scale: float) -> float:
+    """Scale a simulated count up to real-Internet magnitude."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return value / scale
+
+
+def fmt_millions(value: float) -> str:
+    """Format a raw count as millions with sensible precision."""
+    millions = value / 1e6
+    if abs(millions) >= 100:
+        return f"{millions:.0f}"
+    if abs(millions) >= 10:
+        return f"{millions:.1f}"
+    return f"{millions:.2f}"
+
+
+def fmt_real_millions(value: float, scale: float) -> str:
+    """Simulated count -> real-equivalent millions string."""
+    return fmt_millions(to_real(value, scale))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Observation windows (the paper's Section 4.3).
+
+Data from 1 Jan 2011 to 30 Jun 2014 is split into overlapping 12-month
+windows starting every three months; statistics are associated with
+the *end* of each window (the first window's results are dated 31 Dec
+2011, the last 30 Jun 2014).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Analysis period bounds as fractional years.
+PERIOD_START = 2011.0
+PERIOD_END = 2014.5
+
+#: Window geometry.
+WINDOW_LENGTH = 1.0
+WINDOW_STEP = 0.25
+
+
+@dataclass(frozen=True, order=True)
+class TimeWindow:
+    """A half-open observation window [start, end) in fractional years."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.start + self.end)
+
+    def label(self) -> str:
+        """Human label of the window's end, e.g. ``"Dec 2011"``."""
+        year = int(self.end)
+        frac = round((self.end - year) * 4) % 4
+        month = {0: "Dec", 1: "Mar", 2: "Jun", 3: "Sep"}[frac]
+        if frac == 0:
+            year -= 1
+        return f"{month} {year}"
+
+    def __str__(self) -> str:
+        return f"[{self.start:.2f}, {self.end:.2f})"
+
+
+def standard_windows() -> list[TimeWindow]:
+    """The paper's 11 windows: ends Dec 2011, Mar 2012, ..., Jun 2014."""
+    windows = []
+    start = PERIOD_START
+    while start + WINDOW_LENGTH <= PERIOD_END + 1e-9:
+        windows.append(TimeWindow(round(start, 4), round(start + WINDOW_LENGTH, 4)))
+        start += WINDOW_STEP
+    return windows

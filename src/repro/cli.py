@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the reproduction's main entry points:
+
+* ``simulate``  — build a synthetic Internet and print its vitals.
+* ``estimate``  — run the full pipeline on one observation window.
+* ``crossval``  — leave-one-source-out validation for a window.
+* ``supply``    — the Table 6 runout forecast.
+
+All commands share ``--scale-log2`` (size of the simulated Internet as
+a power of two; -12 is 1/4096 of the real one) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from repro.analysis.crossval import cross_validate_all
+from repro.analysis.pipeline import EstimationPipeline
+from repro.analysis.report import format_table, to_real
+from repro.analysis.supply import supply_by_rir, world_supply
+from repro.analysis.windows import TimeWindow
+from repro.simnet.internet import SimulationConfig, SyntheticInternet
+
+
+def _parse_window(text: str) -> TimeWindow:
+    try:
+        start_text, _, end_text = text.partition(":")
+        return TimeWindow(float(start_text), float(end_text))
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"window must look like 2013.5:2014.5, got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Capture-recapture estimation of the used IPv4 space "
+        "(IMC 2014 'Capturing Ghosts' reproduction)",
+    )
+    parser.add_argument("--scale-log2", type=int, default=-12,
+                        help="log2 of the simulation scale (default -12)")
+    parser.add_argument("--seed", type=int, default=20140630)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("simulate", help="build the synthetic Internet and "
+                   "print its vitals")
+
+    estimate = sub.add_parser("estimate", help="run the estimation "
+                              "pipeline on one window")
+    estimate.add_argument("--window", type=_parse_window,
+                          default=TimeWindow(2013.5, 2014.5))
+
+    crossval = sub.add_parser("crossval", help="leave-one-source-out "
+                              "cross-validation")
+    crossval.add_argument("--window", type=_parse_window,
+                          default=TimeWindow(2013.5, 2014.5))
+
+    sub.add_parser("supply", help="Table 6 supply runout forecast")
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="leave-one-source-out estimate leverage"
+    )
+    sensitivity.add_argument("--window", type=_parse_window,
+                             default=TimeWindow(2013.5, 2014.5))
+
+    churn = sub.add_parser(
+        "churn", help="the Section 4.6 dynamic-address session experiment"
+    )
+    churn.add_argument("--clients", type=int, default=100_000)
+    churn.add_argument("--days", type=int, default=16)
+
+    files = sub.add_parser(
+        "estimate-files",
+        help="capture-recapture over YOUR datasets (one file per source)",
+    )
+    files.add_argument("paths", nargs="+",
+                       help="dataset files (>= 2), one source each")
+    files.add_argument("--fmt", choices=["list", "clf", "flow"],
+                       default="list",
+                       help="file format: address list, Apache CLF, "
+                       "or flow CSV")
+    files.add_argument("--limit", type=float, default=None,
+                       help="optional population bound (routed size) for "
+                       "truncated estimation")
+    return parser
+
+
+def _internet(args: argparse.Namespace) -> SyntheticInternet:
+    return SyntheticInternet(
+        SimulationConfig(scale=2.0**args.scale_log2, seed=args.seed)
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Build the synthetic Internet and print its vitals."""
+    internet = _internet(args)
+    scale = internet.config.scale
+    print(internet.describe())
+    rows = []
+    for start, end in [(2011.0, 2012.0), (2013.5, 2014.5)]:
+        rows.append([
+            f"{start:.2f}-{end:.2f}",
+            internet.routed_size(start, end),
+            internet.truth_used_addresses(start, end),
+            internet.truth_used_subnets(start, end),
+            f"{to_real(internet.truth_used_addresses(start, end), scale) / 1e6:.0f}",
+        ])
+    print(format_table(
+        ["window", "routed", "used addrs", "used /24s", "real-equiv used[M]"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    """Run the estimation pipeline on one window and print it."""
+    internet = _internet(args)
+    pipeline = EstimationPipeline(internet)
+    result = pipeline.run_window(args.window)
+    scale = internet.config.scale
+    rows = [
+        ["routed", result.routed_addresses, result.routed_subnets],
+        ["pingable", result.ping_addresses, result.ping_subnets],
+        ["observed", result.observed_addresses, result.observed_subnets],
+        ["estimated", f"{result.estimated_addresses:.0f}",
+         f"{result.estimated_subnets:.0f}"],
+        ["truth", result.truth_addresses, result.truth_subnets],
+    ]
+    print(format_table(
+        ["quantity", "addresses", "/24 subnets"],
+        rows,
+        title=f"window {args.window.label()} "
+        f"(x{1 / scale:.0f} for real-equivalent)",
+    ))
+    print(f"\nest/ping {result.estimated_addresses / result.ping_addresses:.2f}"
+          f"  est/obs {result.estimated_addresses / result.observed_addresses:.2f}")
+    return 0
+
+
+def cmd_crossval(args: argparse.Namespace) -> int:
+    """Leave-one-source-out cross-validation for one window."""
+    internet = _internet(args)
+    pipeline = EstimationPipeline(internet)
+    datasets = pipeline.datasets(args.window)
+    rows = []
+    for r in cross_validate_all(datasets):
+        rows.append([
+            r.source,
+            r.universe_size,
+            r.observed_by_others,
+            r.true_unseen,
+            f"{r.estimated_unseen:.0f}",
+            f"{r.error / max(r.universe_size, 1) * 100:+.1f}%",
+        ])
+    print(format_table(
+        ["held-out", "size", "seen by rest", "true unseen", "est unseen",
+         "error/size"],
+        rows,
+        title=f"cross-validation, window {args.window.label()}",
+    ))
+    return 0
+
+
+def cmd_supply(args: argparse.Namespace) -> int:
+    """Print the Table 6 runout forecast."""
+    internet = _internet(args)
+    pipeline = EstimationPipeline(internet)
+    first = TimeWindow(2011.0, 2012.0)
+    last = TimeWindow(2013.5, 2014.5)
+    rows = supply_by_rir(pipeline, first, last)
+    world = world_supply(rows, now=last.end)
+    printable = [
+        [
+            r.label,
+            f"{to_real(r.available, internet.config.scale) / 1e6:.0f}",
+            f"{to_real(r.growth_per_year, internet.config.scale) / 1e6:.0f}",
+            "never" if math.isinf(r.runout_year) else f"{r.runout_year:.0f}",
+        ]
+        for r in rows + [world]
+    ]
+    print(format_table(
+        ["RIR", "available[M]", "growth[M/yr]", "runout"],
+        printable,
+        title="supply forecast (real-equivalent millions)",
+    ))
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    """Print each source's leave-one-out leverage."""
+    from repro.analysis.sensitivity import leave_one_out_sensitivity
+
+    internet = _internet(args)
+    pipeline = EstimationPipeline(internet)
+    datasets = pipeline.datasets(args.window)
+    report = leave_one_out_sensitivity(datasets)
+    rows = [
+        [row.source, f"{row.estimate_without:.0f}", f"{row.shift:+.1%}"]
+        for row in report.rows
+    ]
+    print(format_table(
+        ["dropped source", "estimate without", "shift"],
+        rows,
+        title=f"baseline estimate {report.baseline:.0f} "
+        f"({args.window.label()}); "
+        f"robust: {report.is_robust()}",
+    ))
+    return 0
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Run the Section 4.6 session-churn experiment."""
+    import numpy as np
+
+    from repro.simnet.dynamics import simulate_session_churn
+
+    rng = np.random.default_rng(args.seed)
+    obs = simulate_session_churn(
+        rng, num_clients=args.clients, num_days=args.days
+    )
+    addr_factor, subnet_factor = obs.growth_after_saturation()
+    rows = [
+        [int(d), int(a), int(s)]
+        for d, a, s in zip(obs.days, obs.distinct_addresses,
+                           obs.distinct_subnets)
+    ]
+    print(format_table(["day", "distinct IPs", "distinct /24s"], rows))
+    print(f"\npost-saturation growth: IPs {addr_factor:.2f}x, "
+          f"/24s {subnet_factor:.2f}x (paper: 2.7x / 1.2x)")
+    return 0
+
+
+def cmd_estimate_files(args: argparse.Namespace) -> int:
+    """Run capture-recapture over user-supplied dataset files."""
+    from pathlib import Path
+
+    from repro.core.estimator import CaptureRecapture, EstimatorOptions
+    from repro.sources.logparse import load_dataset
+
+    if len(args.paths) < 2:
+        print("need at least two dataset files", file=sys.stderr)
+        return 2
+    datasets = {}
+    rows = []
+    for path in args.paths:
+        name = Path(path).stem
+        result = load_dataset(path, fmt=args.fmt)
+        datasets[name] = result.dataset
+        rows.append([
+            name, len(result.dataset), result.lines_read,
+            result.lines_skipped,
+        ])
+    print(format_table(
+        ["source", "addresses", "lines", "skipped"], rows,
+        title="parsed datasets",
+    ))
+    cr = CaptureRecapture(datasets, EstimatorOptions(limit=args.limit))
+    estimate = cr.estimate()
+    interval = cr.profile_interval(alpha=0.001)
+    print(f"\nestimate: {estimate.describe()}")
+    print(f"range:    [{interval.population_low:.0f}, "
+          f"{interval.population_high:.0f}]")
+    return 0
+
+
+COMMANDS = {
+    "simulate": cmd_simulate,
+    "estimate": cmd_estimate,
+    "crossval": cmd_crossval,
+    "supply": cmd_supply,
+    "sensitivity": cmd_sensitivity,
+    "churn": cmd_churn,
+    "estimate-files": cmd_estimate_files,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments and dispatch to the chosen command."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

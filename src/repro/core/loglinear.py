@@ -1,0 +1,171 @@
+"""Log-linear capture-recapture models (the paper's Section 3.3).
+
+A :class:`LoglinearModel` is a hierarchical term set; fitting it to a
+:class:`~repro.core.histories.ContingencyTable` yields a
+:class:`FittedLoglinear`, whose :meth:`~FittedLoglinear.estimate`
+produces the population estimate: the unseen count is
+``Z-hat_0 = exp(u)`` under the Poisson likelihood, or the mean of the
+right-truncated Poisson with rate ``exp(u)`` and remaining headroom
+``l - M`` under the truncated likelihood — which is how the truncation
+keeps small-stratum estimates below the routed-space size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.design import describe_terms, design_matrix, validate_terms
+from repro.core.glm import fit_poisson
+from repro.core.histories import ContingencyTable
+from repro.core.truncated import fit_truncated_poisson, truncated_mean
+
+#: Supported likelihoods.
+DISTRIBUTIONS = ("poisson", "truncated")
+
+
+@dataclass(frozen=True)
+class PopulationEstimate:
+    """A capture-recapture population estimate.
+
+    ``population`` is N-hat = M + unseen; ``observed`` is M.  ``aic``
+    and ``bic`` refer to the fit that produced the estimate (on the
+    *unscaled* counts — selection-time ICs on divided counts live on
+    :class:`~repro.core.selection.ModelSelection`).
+    """
+
+    population: float
+    unseen: float
+    observed: int
+    loglik: float
+    aic: float
+    bic: float
+    num_params: int
+    terms: frozenset
+    distribution: str
+    converged: bool
+    source_names: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One-line human summary of the estimate and its model."""
+        return (
+            f"N={self.population:.1f} (observed {self.observed}, "
+            f"unseen {self.unseen:.1f}) via {self.distribution} LLM "
+            f"{describe_terms(self.terms, self.source_names)}"
+        )
+
+
+@dataclass(frozen=True)
+class FittedLoglinear:
+    """A log-linear model fitted to a contingency table."""
+
+    table: ContingencyTable
+    terms: frozenset
+    coef: np.ndarray
+    fitted: np.ndarray
+    loglik: float
+    distribution: str
+    limit: float | None
+    converged: bool
+
+    @property
+    def num_params(self) -> int:
+        return int(self.coef.size)
+
+    @property
+    def intercept(self) -> float:
+        return float(self.coef[0])
+
+    @property
+    def aic(self) -> float:
+        return 2.0 * self.num_params - 2.0 * self.loglik
+
+    @property
+    def bic(self) -> float:
+        observed = max(self.table.num_observed, 1)
+        return np.log(observed) * self.num_params - 2.0 * self.loglik
+
+    def unseen_estimate(self) -> float:
+        """Estimated count of the all-zero history, ``Z-hat_0``."""
+        rate = float(np.exp(min(self.intercept, 700.0)))
+        if self.distribution == "truncated" and self.limit is not None:
+            headroom = max(0.0, float(self.limit) - self.table.num_observed)
+            return float(truncated_mean(rate, headroom))
+        return rate
+
+    def estimate(self) -> PopulationEstimate:
+        """Package the fit into a population estimate (N = M + ghosts)."""
+        unseen = self.unseen_estimate()
+        observed = self.table.num_observed
+        return PopulationEstimate(
+            population=observed + unseen,
+            unseen=unseen,
+            observed=observed,
+            loglik=self.loglik,
+            aic=self.aic,
+            bic=self.bic,
+            num_params=self.num_params,
+            terms=self.terms,
+            distribution=self.distribution,
+            converged=self.converged,
+            source_names=self.table.source_names,
+        )
+
+
+class LoglinearModel:
+    """A hierarchical log-linear model over ``t`` sources."""
+
+    def __init__(self, num_sources: int, terms: Iterable[frozenset]):
+        self.num_sources = num_sources
+        self.terms = validate_terms(num_sources, terms)
+
+    def __repr__(self) -> str:
+        return f"LoglinearModel(t={self.num_sources}, {describe_terms(self.terms)})"
+
+    def fit(
+        self,
+        table: ContingencyTable,
+        distribution: str = "poisson",
+        limit: float | None = None,
+    ) -> FittedLoglinear:
+        """Fit by maximum likelihood.
+
+        ``distribution`` is ``"poisson"`` or ``"truncated"``; the latter
+        requires ``limit`` (the inclusive cell-count bound ``l``).
+        """
+        if table.num_sources != self.num_sources:
+            raise ValueError(
+                f"table has {table.num_sources} sources, model expects "
+                f"{self.num_sources}"
+            )
+        if distribution not in DISTRIBUTIONS:
+            raise ValueError(f"unknown distribution: {distribution!r}")
+        design, _ = design_matrix(self.num_sources, self.terms)
+        counts = table.counts[1:]
+        if distribution == "truncated":
+            if limit is None:
+                raise ValueError("truncated fits require a limit")
+            fit = fit_truncated_poisson(design, counts, limit)
+            return FittedLoglinear(
+                table=table,
+                terms=self.terms,
+                coef=fit.coef,
+                fitted=fit.fitted_rate,
+                loglik=fit.loglik,
+                distribution="truncated",
+                limit=float(limit),
+                converged=fit.converged,
+            )
+        fit = fit_poisson(design, counts)
+        return FittedLoglinear(
+            table=table,
+            terms=self.terms,
+            coef=fit.coef,
+            fitted=fit.fitted,
+            loglik=fit.loglik,
+            distribution="poisson",
+            limit=limit,
+            converged=fit.converged,
+        )

@@ -1,0 +1,196 @@
+"""Model selection for log-linear CR models (the paper's Section 3.3.2).
+
+Selection picks which interaction parameters ``u_h`` are freed.  We
+search hierarchical models by forward stepwise addition of interaction
+terms starting from the independence model, scoring candidates by an
+information criterion (AIC or BIC) computed on *divided* counts — the
+paper's heuristic for the Poisson likelihood overstating the effective
+sample size: all ``z_s`` are integer-divided by ``d`` before computing
+``L``, with ``d`` either fixed or adaptive ("start at 1000, halve until
+``d`` is smaller than the smallest positive ``z_s``").
+
+The final choice applies the paper's parsimony rule: take the simplest
+model ``m`` on the search path such that no other visited model ``n``
+has ``IC_n < IC_m - 7``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.design import main_effect_terms
+from repro.core.histories import ContingencyTable
+from repro.core.loglinear import FittedLoglinear, LoglinearModel
+
+#: The parsimony margin of the "simplest within 7 IC units" rule [21].
+IC_MARGIN = 7.0
+
+
+def information_criterion(
+    loglik: float, num_params: int, num_observed: int, kind: str = "aic"
+) -> float:
+    """AIC or BIC as defined in the paper (M = observed individuals)."""
+    if kind == "aic":
+        return 2.0 * num_params - 2.0 * loglik
+    if kind == "bic":
+        return float(np.log(max(num_observed, 1)) * num_params - 2.0 * loglik)
+    raise ValueError(f"unknown information criterion: {kind!r}")
+
+
+def adaptive_divisor(table: ContingencyTable, maximum: int = 1000) -> int:
+    """The paper's adaptive ``d``: halve from ``maximum`` until below
+    the smallest positive cell count (never below 1)."""
+    if maximum < 1:
+        raise ValueError(f"maximum divisor must be >= 1, got {maximum}")
+    floor = table.positive_minimum()
+    if floor <= 1:
+        return 1
+    divisor = maximum
+    while divisor >= floor and divisor > 1:
+        divisor //= 2
+    return max(divisor, 1)
+
+
+def resolve_divisor(table: ContingencyTable, divisor: int | str) -> int:
+    """Interpret a divisor setting: an int, or ``"adaptive"``/``"adaptiveN"``."""
+    if isinstance(divisor, int):
+        if divisor < 1:
+            raise ValueError(f"divisor must be >= 1, got {divisor}")
+        return divisor
+    if isinstance(divisor, str) and divisor.startswith("adaptive"):
+        suffix = divisor[len("adaptive"):]
+        maximum = int(suffix) if suffix else 1000
+        return adaptive_divisor(table, maximum)
+    raise ValueError(f"unknown divisor setting: {divisor!r}")
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One model visited during the stepwise search."""
+
+    terms: frozenset
+    ic: float
+    loglik: float
+    num_params: int
+
+
+@dataclass
+class ModelSelection:
+    """Outcome of :func:`select_model`.
+
+    ``fit`` is the chosen model refitted on the *unscaled* table (the
+    fit used for estimation); ``path`` records every model accepted
+    during the search with its selection-time IC, and ``selected_ic``
+    is the chosen model's IC on the divided counts.
+    """
+
+    fit: FittedLoglinear
+    divisor: int
+    criterion: str
+    selected_ic: float
+    path: list[CandidateScore] = field(default_factory=list)
+
+    @property
+    def terms(self) -> frozenset:
+        return self.fit.terms
+
+
+def _candidate_terms(
+    num_sources: int, current: frozenset, max_order: int
+) -> list[frozenset]:
+    """Hierarchically addable terms: every subset already present."""
+    candidates = []
+    for order in range(2, min(max_order, num_sources - 1) + 1):
+        for combo in combinations(range(num_sources), order):
+            term = frozenset(combo)
+            if term in current:
+                continue
+            subsets_present = all(
+                frozenset(sub) in current
+                for size in range(1, order)
+                for sub in combinations(combo, size)
+            )
+            if subsets_present:
+                candidates.append(term)
+    return candidates
+
+
+def _score(
+    scaled: ContingencyTable, terms: frozenset, criterion: str
+) -> CandidateScore:
+    # Candidates are always scored with the plain Poisson likelihood:
+    # it is the cheap fit, and the paper notes truncation "otherwise
+    # makes little difference" outside small strata — the final model
+    # is refit with the requested distribution.
+    model = LoglinearModel(scaled.num_sources, terms)
+    fitted = model.fit(scaled, distribution="poisson")
+    ic = information_criterion(
+        fitted.loglik, fitted.num_params, scaled.num_observed, criterion
+    )
+    return CandidateScore(
+        terms=terms, ic=ic, loglik=fitted.loglik, num_params=fitted.num_params
+    )
+
+
+def select_model(
+    table: ContingencyTable,
+    criterion: str = "bic",
+    divisor: int | str = "adaptive1000",
+    max_order: int = 2,
+    distribution: str = "poisson",
+    limit: float | None = None,
+) -> ModelSelection:
+    """Stepwise model selection with the paper's heuristics.
+
+    Forward search: start at independence, repeatedly add the
+    interaction term (up to ``max_order`` sources) that lowers the IC
+    most, computed on counts divided by ``divisor``; stop when nothing
+    improves.  Then pick the simplest visited model within
+    :data:`IC_MARGIN` of the best and refit it on the full counts.
+    """
+    if table.num_sources < 2:
+        raise ValueError("capture-recapture needs at least two sources")
+    resolved = resolve_divisor(table, divisor)
+    scaled = table.scaled(resolved)
+    if scaled.num_observed == 0:
+        # All counts rounded away: fall back to the raw table, matching
+        # the paper's note that too large a d breaks the LLM down.
+        scaled = table
+        resolved = 1
+
+    current = main_effect_terms(table.num_sources)
+    best = _score(scaled, current, criterion)
+    path = [best]
+    while True:
+        candidates = _candidate_terms(table.num_sources, current, max_order)
+        if not candidates:
+            break
+        scores = [
+            _score(scaled, frozenset(current | {term}), criterion)
+            for term in candidates
+        ]
+        challenger = min(scores, key=lambda s: s.ic)
+        if challenger.ic >= best.ic:
+            break
+        best = challenger
+        current = challenger.terms
+        path.append(challenger)
+
+    # Parsimony rule: simplest visited model m with no n: IC_n < IC_m - 7.
+    best_ic = min(score.ic for score in path)
+    eligible = [score for score in path if score.ic <= best_ic + IC_MARGIN]
+    chosen = min(eligible, key=lambda s: (s.num_params, s.ic))
+
+    final_model = LoglinearModel(table.num_sources, chosen.terms)
+    final_fit = final_model.fit(table, distribution=distribution, limit=limit)
+    return ModelSelection(
+        fit=final_fit,
+        divisor=resolved,
+        criterion=criterion,
+        selected_ic=chosen.ic,
+        path=path,
+    )

@@ -1,0 +1,21 @@
+"""Published data series embedded as constants.
+
+These are not measurements the reproduction must recreate but numbers
+the paper cites from public statistics: the ITU Internet-user series
+(Figure 11) and the historical census/allocation/routing magnitudes
+that anchor Figure 10's long-term panorama.
+"""
+
+from repro.data.historical import (
+    allocated_addresses_series,
+    historical_ping_series,
+    routed_addresses_series,
+)
+from repro.data.itu import internet_users_series
+
+__all__ = [
+    "allocated_addresses_series",
+    "historical_ping_series",
+    "internet_users_series",
+    "routed_addresses_series",
+]

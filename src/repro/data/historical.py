@@ -1,0 +1,76 @@
+"""Historical magnitudes anchoring Figure 10's long-term view.
+
+Pre-2011 pingable-address counts come from the prior work the paper
+plots (Pryadkin et al.'s 2003/2004 probing, USC/LANDER censuses
+through 2011); allocated- and routed-space series come from RIR
+delegation statistics and Route Views as summarised in the paper's
+Figure 10.  Values are in millions of addresses at the stated times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Pingable (ICMP-responding) addresses, millions — prior-work censuses.
+_HISTORICAL_PING: tuple[tuple[float, float], ...] = (
+    (2003.5, 62),
+    (2004.5, 75),
+    (2005.5, 90),
+    (2006.5, 102),
+    (2007.5, 112),
+    (2008.5, 140),
+    (2009.5, 180),
+    (2010.5, 230),
+    (2011.0, 290),
+)
+
+#: Allocated addresses, millions (RIR delegation files): the 2004-2011
+#: boom and the post-exhaustion flattening.
+_ALLOCATED: tuple[tuple[float, float], ...] = (
+    (2003.0, 1790),
+    (2004.0, 1850),
+    (2005.0, 1960),
+    (2006.0, 2080),
+    (2007.0, 2230),
+    (2008.0, 2400),
+    (2009.0, 2570),
+    (2010.0, 2780),
+    (2011.0, 3050),
+    (2012.0, 3320),
+    (2013.0, 3400),
+    (2014.0, 3450),
+    (2014.5, 3470),
+)
+
+#: Routed addresses, millions (Route Views), available from 2008.
+_ROUTED: tuple[tuple[float, float], ...] = (
+    (2008.0, 1890),
+    (2009.0, 2030),
+    (2010.0, 2190),
+    (2011.0, 2380),
+    (2012.0, 2550),
+    (2013.0, 2620),
+    (2014.0, 2690),
+    (2014.5, 2725),
+)
+
+
+def _series(pairs: tuple[tuple[float, float], ...]) -> tuple[np.ndarray, np.ndarray]:
+    times = np.array([t for t, _ in pairs], dtype=np.float64)
+    values = np.array([v for _, v in pairs], dtype=np.float64)
+    return times, values
+
+
+def historical_ping_series() -> tuple[np.ndarray, np.ndarray]:
+    """(years, pingable addresses in millions), 2003-2011."""
+    return _series(_HISTORICAL_PING)
+
+
+def allocated_addresses_series() -> tuple[np.ndarray, np.ndarray]:
+    """(years, allocated addresses in millions), 2003-2014."""
+    return _series(_ALLOCATED)
+
+
+def routed_addresses_series() -> tuple[np.ndarray, np.ndarray]:
+    """(years, routed addresses in millions), 2008-2014."""
+    return _series(_ROUTED)

@@ -1,0 +1,42 @@
+"""ITU Internet-user statistics (the paper's Figure 11 input).
+
+Yearly world Internet-user counts, December of each year, in millions,
+from the ITU "Key ICT data" series the paper cites [27]: 16 million in
+December 1995 growing to roughly 2.75 billion (about 39 % of the world
+population) in December 2013, with visually exponential growth early
+on turning roughly linear from 2006-2007.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: (year, users in millions) pairs.
+INTERNET_USERS_MILLIONS: tuple[tuple[int, float], ...] = (
+    (1995, 16),
+    (1996, 36),
+    (1997, 70),
+    (1998, 147),
+    (1999, 248),
+    (2000, 361),
+    (2001, 495),
+    (2002, 631),
+    (2003, 719),
+    (2004, 817),
+    (2005, 1023),
+    (2006, 1147),
+    (2007, 1367),
+    (2008, 1561),
+    (2009, 1752),
+    (2010, 2023),
+    (2011, 2231),
+    (2012, 2497),
+    (2013, 2749),
+)
+
+
+def internet_users_series() -> tuple[np.ndarray, np.ndarray]:
+    """(years, users-in-millions) arrays for Figure 11."""
+    years = np.array([y for y, _ in INTERNET_USERS_MILLIONS], dtype=np.float64)
+    users = np.array([u for _, u in INTERNET_USERS_MILLIONS], dtype=np.float64)
+    return years, users

@@ -1,0 +1,18 @@
+"""Dataset preprocessing and spoofed-address removal (Section 4.4/4.5)."""
+
+from repro.filtering.preprocess import PreprocessReport, preprocess_dataset
+from repro.filtering.spoof_filter import (
+    SpoofFilter,
+    SpoofFilterReport,
+    binomial_threshold,
+    detect_empty_blocks,
+)
+
+__all__ = [
+    "PreprocessReport",
+    "SpoofFilter",
+    "SpoofFilterReport",
+    "binomial_threshold",
+    "detect_empty_blocks",
+    "preprocess_dataset",
+]

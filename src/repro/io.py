@@ -1,0 +1,117 @@
+"""Dataset and result persistence.
+
+Measurement campaigns are long; users want to snapshot the collected
+datasets and the per-window results and reload them later (or exchange
+them — the address sets serialise to a compact ``.npz``, the metadata
+to JSON).  Formats:
+
+* :func:`save_datasets` / :func:`load_datasets` — a named mapping of
+  :class:`~repro.ipspace.ipset.IPSet` into one ``.npz`` file (one
+  ``uint32`` array per source).
+* :func:`save_table` / :func:`load_table` — a contingency table as
+  JSON (source names + non-zero cells).
+* :func:`save_window_results` / :func:`load_window_results` — the
+  pipeline's per-window scalar summary as a JSON list, sufficient to
+  regenerate every growth figure without rerunning estimation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.windows import TimeWindow
+from repro.core.histories import ContingencyTable
+from repro.ipspace.ipset import IPSet
+
+
+def save_datasets(path: str | Path, datasets: Mapping[str, IPSet]) -> None:
+    """Write named address sets to a compressed ``.npz``."""
+    arrays = {name: ipset.addresses for name, ipset in datasets.items()}
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_datasets(path: str | Path) -> dict[str, IPSet]:
+    """Read named address sets written by :func:`save_datasets`."""
+    with np.load(Path(path)) as archive:
+        out = {}
+        for name in archive.files:
+            arr = archive[name].astype(np.uint32)
+            out[name] = IPSet.from_sorted_unique(np.unique(arr))
+        return out
+
+
+def save_table(path: str | Path, table: ContingencyTable) -> None:
+    """Write a contingency table as JSON (sparse cell encoding)."""
+    cells = {
+        str(history): int(count)
+        for history, count in enumerate(table.counts)
+        if count
+    }
+    payload = {
+        "num_sources": table.num_sources,
+        "source_names": list(table.source_names),
+        "cells": cells,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_table(path: str | Path) -> ContingencyTable:
+    """Read a contingency table written by :func:`save_table`."""
+    payload = json.loads(Path(path).read_text())
+    num_sources = int(payload["num_sources"])
+    counts = np.zeros(2**num_sources, dtype=np.int64)
+    for history, count in payload["cells"].items():
+        counts[int(history)] = int(count)
+    return ContingencyTable(
+        num_sources, counts, tuple(payload.get("source_names", ()))
+    )
+
+
+#: Scalar fields of a WindowResult worth persisting.
+_RESULT_FIELDS = (
+    "routed_addresses",
+    "routed_subnets",
+    "observed_addresses",
+    "observed_subnets",
+    "ping_addresses",
+    "ping_subnets",
+    "truth_addresses",
+    "truth_subnets",
+)
+
+
+def save_window_results(path: str | Path, results: Sequence) -> None:
+    """Persist pipeline window summaries (scalars only) as JSON."""
+    rows = []
+    for r in results:
+        row = {
+            "start": r.window.start,
+            "end": r.window.end,
+            "estimated_addresses": float(r.estimated_addresses),
+            "estimated_subnets": float(r.estimated_subnets),
+        }
+        for field in _RESULT_FIELDS:
+            row[field] = int(getattr(r, field))
+        rows.append(row)
+    Path(path).write_text(json.dumps(rows, indent=1))
+
+
+class StoredWindowResult:
+    """A reloaded window summary, duck-typed for the growth analyses."""
+
+    def __init__(self, payload: dict):
+        self.window = TimeWindow(payload["start"], payload["end"])
+        self.estimated_addresses = float(payload["estimated_addresses"])
+        self.estimated_subnets = float(payload["estimated_subnets"])
+        for field in _RESULT_FIELDS:
+            setattr(self, field, int(payload[field]))
+
+
+def load_window_results(path: str | Path) -> list[StoredWindowResult]:
+    """Reload summaries written by :func:`save_window_results`."""
+    rows = json.loads(Path(path).read_text())
+    return [StoredWindowResult(row) for row in rows]

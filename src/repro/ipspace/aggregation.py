@@ -1,0 +1,72 @@
+"""Prefix-list aggregation (FIB compression).
+
+The paper's Section 7.2.1 notes that "FIB compression techniques can
+reduce size of FIBs" when reasoning about whether all unused prefixes
+could be routed.  This module implements the two standard lossless
+reductions for a forwarding table whose entries share a next hop (the
+relevant case for counting capacity):
+
+* **sibling merging** — two adjacent aligned blocks collapse into
+  their parent (``10.0.0.0/24 + 10.0.1.0/24 -> 10.0.0.0/23``);
+* **containment removal** — a prefix nested inside another kept prefix
+  is redundant.
+
+Applied to exhaustion, the compressed size of "every routable prefix"
+is the honest lower bound on FIB pressure.  The implementation works
+on :class:`~repro.ipspace.intervals.IntervalSet` semantics: the
+compressed table covers exactly the same address set with the minimal
+number of CIDR entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.prefixes import Prefix
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Outcome of compressing a prefix list."""
+
+    original_count: int
+    compressed_count: int
+    prefixes: tuple[Prefix, ...]
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (1.0 = nothing saved)."""
+        if self.compressed_count == 0:
+            return 1.0
+        return self.original_count / self.compressed_count
+
+    @property
+    def saved(self) -> int:
+        return self.original_count - self.compressed_count
+
+
+def compress_prefixes(prefixes: Iterable[Prefix]) -> CompressionReport:
+    """Minimal CIDR cover of the same address space.
+
+    Merges siblings and drops contained prefixes by round-tripping
+    through the interval representation, whose CIDR decomposition is
+    provably minimal for the covered set.
+    """
+    original = list(prefixes)
+    covered = IntervalSet.from_prefixes(original)
+    compressed = tuple(covered.to_prefixes())
+    return CompressionReport(
+        original_count=len(original),
+        compressed_count=len(compressed),
+        prefixes=compressed,
+    )
+
+
+def compression_potential(prefixes: Iterable[Prefix]) -> float:
+    """Fraction of FIB entries removable by lossless aggregation."""
+    report = compress_prefixes(prefixes)
+    if report.original_count == 0:
+        return 0.0
+    return report.saved / report.original_count

@@ -1,0 +1,151 @@
+"""CIDR prefix arithmetic.
+
+A :class:`Prefix` is an aligned power-of-two block of addresses,
+``base/length`` in CIDR notation.  Prefixes are immutable, hashable and
+ordered by their address range, so they can be used as dict keys and
+sorted into routing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ipspace.addresses import (
+    ADDRESS_SPACE_SIZE,
+    AddressError,
+    format_addr,
+    parse_addr,
+)
+
+
+class PrefixError(ValueError):
+    """Raised for misaligned bases or out-of-range prefix lengths."""
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An aligned CIDR block ``base/length`` of IPv4 addresses."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise PrefixError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.base < ADDRESS_SPACE_SIZE:
+            raise PrefixError(f"prefix base out of range: {self.base}")
+        if self.base & (self.size - 1):
+            raise PrefixError(
+                f"base {format_addr(self.base)} not aligned to /{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (a bare address means a /32)."""
+        if "/" in text:
+            addr_part, _, len_part = text.partition("/")
+            if not len_part.isdigit():
+                raise PrefixError(f"bad prefix length in {text!r}")
+            return cls(parse_addr(addr_part), int(len_part))
+        return cls(parse_addr(text), 32)
+
+    @classmethod
+    def containing(cls, addr: int, length: int) -> "Prefix":
+        """The /``length`` prefix that contains ``addr``."""
+        if not 0 <= length <= 32:
+            raise PrefixError(f"prefix length out of range: {length}")
+        size = 1 << (32 - length)
+        return cls(int(addr) & ~(size - 1) & 0xFFFFFFFF, length)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered (``2**(32-length)``)."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        """First (lowest) address in the block."""
+        return self.base
+
+    @property
+    def last(self) -> int:
+        """Last (highest) address in the block."""
+        return self.base + self.size - 1
+
+    @property
+    def end(self) -> int:
+        """One past the last address (half-open upper bound)."""
+        return self.base + self.size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= int(addr) <= self.last
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or nested inside this prefix."""
+        return self.base <= other.base and other.end <= self.end
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two blocks share any address."""
+        return self.base < other.end and other.base < self.end
+
+    def supernet(self) -> "Prefix":
+        """The enclosing block one bit shorter (error at /0)."""
+        if self.length == 0:
+            raise PrefixError("/0 has no supernet")
+        return Prefix.containing(self.base, self.length - 1)
+
+    def subnets(self, new_length: int | None = None) -> Iterator["Prefix"]:
+        """Yield the sub-blocks at ``new_length`` (default: one bit longer)."""
+        if new_length is None:
+            new_length = self.length + 1
+        if new_length < self.length:
+            raise PrefixError(
+                f"cannot subnet /{self.length} into shorter /{new_length}"
+            )
+        if new_length > 32:
+            raise PrefixError(f"prefix length out of range: {new_length}")
+        step = 1 << (32 - new_length)
+        for base in range(self.base, self.end, step):
+            yield Prefix(base, new_length)
+
+    def split(self) -> tuple["Prefix", "Prefix"]:
+        """Split into the two halves one bit longer."""
+        if self.length == 32:
+            raise PrefixError("cannot split a /32")
+        low, high = self.subnets()
+        return low, high
+
+    def __str__(self) -> str:
+        return f"{format_addr(self.base)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({self})"
+
+
+def parse_prefixes(texts) -> list[Prefix]:
+    """Parse an iterable of CIDR strings into a list of prefixes."""
+    return [Prefix.parse(text) for text in texts]
+
+
+def summarize_range(start: int, end: int) -> list[Prefix]:
+    """Decompose the half-open range ``[start, end)`` into maximal CIDR blocks.
+
+    This is the canonical greedy decomposition: at each step emit the
+    largest aligned block that starts at ``start`` and fits in the
+    remaining range.  The result is the unique minimal set of prefixes
+    covering the range, and each emitted block is *maximal* (its
+    supernet is not fully contained in the range) — the property the
+    Section 7 vacant-block model relies on.
+    """
+    if not 0 <= start <= end <= ADDRESS_SPACE_SIZE:
+        raise AddressError(f"range out of address space: [{start}, {end})")
+    blocks: list[Prefix] = []
+    while start < end:
+        # Largest alignment permitted by the start address.
+        max_size_align = start & -start if start else ADDRESS_SPACE_SIZE
+        remaining = end - start
+        size = min(max_size_align, 1 << (remaining.bit_length() - 1))
+        blocks.append(Prefix(start, 32 - (size.bit_length() - 1)))
+        start += size
+    return blocks

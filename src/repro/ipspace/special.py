@@ -1,0 +1,52 @@
+"""Special-use IPv4 prefixes (IANA registry subset relevant to the paper).
+
+The paper filters "multicast and private addresses (e.g., 10.0.0.0/8)"
+from passive datasets and, when computing remaining unused prefixes,
+excludes "all private, multicast, experimental and reserved prefixes,
+such as 224.0.0.0/3 or 10.0.0.0/8".  This module is the single source
+of truth for those exclusions.
+"""
+
+from __future__ import annotations
+
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.prefixes import Prefix
+
+#: Special-use prefixes excluded from "public" space.  The ``224/3``
+#: entry covers both multicast (224/4) and the reserved class E (240/4),
+#: matching the paper's example.
+SPECIAL_USE_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("0.0.0.0/8", "this network (RFC 791)"),
+    ("10.0.0.0/8", "private (RFC 1918)"),
+    ("100.64.0.0/10", "carrier-grade NAT (RFC 6598)"),
+    ("127.0.0.0/8", "loopback (RFC 1122)"),
+    ("169.254.0.0/16", "link local (RFC 3927)"),
+    ("172.16.0.0/12", "private (RFC 1918)"),
+    ("192.0.0.0/24", "IETF protocol assignments (RFC 6890)"),
+    ("192.0.2.0/24", "documentation TEST-NET-1 (RFC 5737)"),
+    ("192.88.99.0/24", "6to4 relay anycast (RFC 3068)"),
+    ("192.168.0.0/16", "private (RFC 1918)"),
+    ("198.18.0.0/15", "benchmarking (RFC 2544)"),
+    ("198.51.100.0/24", "documentation TEST-NET-2 (RFC 5737)"),
+    ("203.0.113.0/24", "documentation TEST-NET-3 (RFC 5737)"),
+    ("224.0.0.0/3", "multicast + reserved class E (RFC 5771/1112)"),
+)
+
+
+def special_use_prefixes() -> list[Prefix]:
+    """The special-use registry as parsed :class:`Prefix` objects."""
+    return [Prefix.parse(text) for text, _ in SPECIAL_USE_PREFIXES]
+
+
+def special_use_intervals() -> IntervalSet:
+    """The special-use registry as an :class:`IntervalSet`."""
+    return IntervalSet.from_prefixes(special_use_prefixes())
+
+
+def public_space() -> IntervalSet:
+    """Everything outside the special-use registry.
+
+    This is the space within which addresses can, in principle, be
+    publicly used; the *routed* space is a further subset of it.
+    """
+    return special_use_intervals().complement()

@@ -1,0 +1,125 @@
+"""Binary (radix) prefix trie with longest-prefix match.
+
+The trie is the classic routing-table structure: prefixes are inserted
+with an attached value, and lookups walk the address bits from the most
+significant end, remembering the deepest prefix seen.  The registry and
+routing substrates use interval arrays for bulk lookups, but the trie
+remains the canonical structure for incremental route updates and for
+answering "which route covers this address" queries one at a time
+(e.g. in examples and in FIB-size accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.ipspace.prefixes import Prefix
+
+
+class _Node:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[_Node | None] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class PrefixTrie:
+    """A mapping from CIDR prefixes to values with longest-prefix match."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @staticmethod
+    def _bit(addr: int, depth: int) -> int:
+        return (addr >> (31 - depth)) & 1
+
+    def insert(self, prefix: Prefix, value: Any = True) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = self._bit(prefix.base, depth)
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the entry at exactly ``prefix``; returns whether it existed.
+
+        Child nodes are kept (no path compression); removal only clears
+        the stored value, which is sufficient for routing-table churn.
+        """
+        node = self._root
+        for depth in range(prefix.length):
+            bit = self._bit(prefix.base, depth)
+            node = node.children[bit]
+            if node is None:
+                return False
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._count -= 1
+        return True
+
+    def exact(self, prefix: Prefix) -> Any:
+        """Value stored at exactly ``prefix`` (KeyError if absent)."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = self._bit(prefix.base, depth)
+            node = node.children[bit]
+            if node is None:
+                raise KeyError(str(prefix))
+        if not node.has_value:
+            raise KeyError(str(prefix))
+        return node.value
+
+    def longest_match(self, addr: int) -> tuple[Prefix, Any] | None:
+        """Longest-prefix match for ``addr``; ``None`` if no route covers it."""
+        addr = int(addr)
+        node = self._root
+        best: tuple[int, Any] | None = (0, node.value) if node.has_value else None
+        for depth in range(32):
+            bit = self._bit(addr, depth)
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        return Prefix.containing(addr, length), value
+
+    def covers(self, addr: int) -> bool:
+        """True if any inserted prefix contains ``addr``."""
+        return self.longest_match(addr) is not None
+
+    def items(self) -> Iterator[tuple[Prefix, Any]]:
+        """Yield ``(prefix, value)`` pairs in address order."""
+
+        def walk(node: _Node, base: int, depth: int) -> Iterator[tuple[Prefix, Any]]:
+            if node.has_value:
+                yield Prefix(base, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, base | (bit << (31 - depth)), depth + 1)
+
+        yield from walk(self._root, 0, 0)
+
+    def prefixes(self) -> list[Prefix]:
+        """All inserted prefixes in address order."""
+        return [prefix for prefix, _ in self.items()]

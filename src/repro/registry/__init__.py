@@ -1,0 +1,26 @@
+"""Allocation and routing registry substrate.
+
+Stand-in for the paper's RIR allocation files, whois industry
+classification and Route Views BGP snapshots: a synthetic but
+realistically shaped registry of IPv4 allocations (RIR, country,
+allocation year, prefix size, industry) plus a routed-space model with
+weekly-snapshot aggregation semantics.
+"""
+
+from repro.registry.allocations import Allocation, AllocationRegistry, generate_registry
+from repro.registry.countries import COUNTRIES_BY_RIR, country_weights
+from repro.registry.rir import RIR, RIR_NAMES, RirProfile, rir_profiles
+from repro.registry.routing import RoutedSpace
+
+__all__ = [
+    "Allocation",
+    "AllocationRegistry",
+    "COUNTRIES_BY_RIR",
+    "RIR",
+    "RIR_NAMES",
+    "RirProfile",
+    "RoutedSpace",
+    "country_weights",
+    "generate_registry",
+    "rir_profiles",
+]

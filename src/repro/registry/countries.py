@@ -1,0 +1,102 @@
+"""Country composition per RIR.
+
+Weights are Zipf-flavoured approximations of where allocated space
+sits; the exact values only need to reproduce the qualitative country
+ranking of the paper's Figure 9 (US and CN largest in absolute terms,
+fast relative growth in Asia and South America plus Romania).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.registry.rir import RIR
+
+#: (country code, space weight, relative growth multiplier) per RIR.
+#: The growth multiplier scales the RIR's base growth rate, letting
+#: countries like BR, RO, VN, ID grow visibly faster than their region.
+COUNTRIES_BY_RIR: dict[RIR, tuple[tuple[str, float, float], ...]] = {
+    RIR.AFRINIC: (
+        ("ZA", 0.40, 1.0),
+        ("EG", 0.18, 1.2),
+        ("MA", 0.12, 1.1),
+        ("NG", 0.10, 1.5),
+        ("KE", 0.08, 1.4),
+        ("TN", 0.07, 1.0),
+        ("GH", 0.05, 1.3),
+    ),
+    RIR.APNIC: (
+        ("CN", 0.35, 1.4),
+        ("JP", 0.18, 0.6),
+        ("KR", 0.12, 0.8),
+        ("AU", 0.08, 0.7),
+        ("IN", 0.07, 1.6),
+        ("TW", 0.06, 1.2),
+        ("ID", 0.04, 1.8),
+        ("VN", 0.03, 1.9),
+        ("TH", 0.03, 1.5),
+        ("HK", 0.02, 0.9),
+        ("MY", 0.02, 1.2),
+    ),
+    RIR.ARIN: (
+        ("US", 0.82, 1.0),
+        ("CA", 0.13, 0.8),
+        ("PR", 0.02, 0.9),
+        ("JM", 0.02, 1.0),
+        ("BS", 0.01, 1.0),
+    ),
+    RIR.LACNIC: (
+        ("BR", 0.45, 1.7),
+        ("MX", 0.15, 1.1),
+        ("AR", 0.13, 1.5),
+        ("CO", 0.10, 1.9),
+        ("CL", 0.09, 1.3),
+        ("PE", 0.04, 1.4),
+        ("VE", 0.04, 1.0),
+    ),
+    RIR.RIPE: (
+        ("DE", 0.14, 0.7),
+        ("GB", 0.13, 0.7),
+        ("FR", 0.11, 0.7),
+        ("RU", 0.10, 1.1),
+        ("IT", 0.08, 0.9),
+        ("NL", 0.07, 0.6),
+        ("ES", 0.06, 0.8),
+        ("SE", 0.05, 0.6),
+        ("PL", 0.05, 1.0),
+        ("RO", 0.04, 1.8),
+        ("TR", 0.04, 1.3),
+        ("CH", 0.03, 0.7),
+        ("NO", 0.03, 0.8),
+        ("CZ", 0.02, 0.9),
+        ("UA", 0.02, 1.2),
+        ("FI", 0.02, 0.7),
+        ("DK", 0.01, 0.8),
+    ),
+}
+
+
+def country_weights(rir: RIR) -> tuple[list[str], np.ndarray]:
+    """Country codes and normalised space weights for one RIR."""
+    rows = COUNTRIES_BY_RIR[rir]
+    codes = [code for code, _, _ in rows]
+    weights = np.array([weight for _, weight, _ in rows], dtype=np.float64)
+    return codes, weights / weights.sum()
+
+
+def country_growth_multiplier(rir: RIR, code: str) -> float:
+    """Relative growth multiplier for a country within its RIR."""
+    for row_code, _, growth in COUNTRIES_BY_RIR[rir]:
+        if row_code == code:
+            return growth
+    raise KeyError(f"unknown country {code!r} for {rir.name}")
+
+
+def all_country_codes() -> list[str]:
+    """Every country code across all RIRs, sorted."""
+    codes = {
+        code
+        for rows in COUNTRIES_BY_RIR.values()
+        for code, _, _ in rows
+    }
+    return sorted(codes)

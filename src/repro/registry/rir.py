@@ -1,0 +1,115 @@
+"""Regional Internet Registry model.
+
+Encodes the five RIRs with the coarse real-world shape the paper's
+regional analyses depend on: share of total allocated space, runout
+year (after which an RIR only hands out small final-policy blocks, e.g.
+APNIC's /22-only policy from April 2011), typical utilisation level and
+relative growth rate (AfriNIC/LACNIC fastest in relative terms,
+APNIC/ARIN faster than RIPE among the big three — Section 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class RIR(IntEnum):
+    """The five Regional Internet Registries."""
+
+    AFRINIC = 0
+    APNIC = 1
+    ARIN = 2
+    LACNIC = 3
+    RIPE = 4
+
+
+RIR_NAMES: tuple[str, ...] = tuple(r.name for r in RIR)
+
+
+@dataclass(frozen=True)
+class RirProfile:
+    """Shape parameters for one RIR's synthetic registry.
+
+    ``space_share``: fraction of total allocated space.
+    ``legacy_share``: fraction of its space allocated before 1998
+    (drives the allocation-age analysis of Fig 8).
+    ``runout_year``: when the final-/22-style policy kicks in.
+    ``utilisation``: mean fraction of a routed block's /24s in use by
+    mid 2014 (drives regional supply, Table 6).
+    ``growth_rate``: relative yearly growth of used addresses
+    (drives Fig 6's normalised curves).
+    """
+
+    rir: RIR
+    space_share: float
+    legacy_share: float
+    runout_year: float
+    utilisation: float
+    growth_rate: float
+    #: Pool space still unallocated mid-2014, as a fraction of the
+    #: RIR's allocated space (AfriNIC held ~2.5 of the 5.5 remaining
+    #: /8s; the exhausted RIRs held only final-policy crumbs).
+    unallocated_fraction: float = 0.02
+
+
+#: Coarse real-world shapes; shares sum to 1.
+_PROFILES: tuple[RirProfile, ...] = (
+    RirProfile(RIR.AFRINIC, 0.03, 0.02, 2018.0, 0.45, 0.45, 0.38),
+    RirProfile(RIR.APNIC, 0.24, 0.10, 2011.3, 0.72, 0.22, 0.015),
+    RirProfile(RIR.ARIN, 0.38, 0.45, 2015.5, 0.42, 0.12, 0.016),
+    RirProfile(RIR.LACNIC, 0.05, 0.03, 2014.5, 0.62, 0.30, 0.030),
+    RirProfile(RIR.RIPE, 0.30, 0.15, 2012.7, 0.60, 0.08, 0.010),
+)
+
+
+def rir_profiles() -> dict[RIR, RirProfile]:
+    """Profile per RIR, keyed by the enum."""
+    return {profile.rir: profile for profile in _PROFILES}
+
+
+class Industry(IntEnum):
+    """Whois-derived industry classes used for stratification."""
+
+    ISP = 0
+    CORPORATE = 1
+    EDUCATION = 2
+    GOVERNMENT = 3
+    MILITARY = 4
+    UNCLASSIFIED = 5
+
+
+INDUSTRY_NAMES: tuple[str, ...] = tuple(i.name for i in Industry)
+
+#: Share of allocations per industry; the paper classified 88 % of the
+#: allocated space, the remainder is UNCLASSIFIED.
+INDUSTRY_WEIGHTS: dict[Industry, float] = {
+    Industry.ISP: 0.52,
+    Industry.CORPORATE: 0.20,
+    Industry.EDUCATION: 0.08,
+    Industry.GOVERNMENT: 0.05,
+    Industry.MILITARY: 0.03,
+    Industry.UNCLASSIFIED: 0.12,
+}
+
+#: Relative density of *used* addresses inside routed blocks per
+#: industry: ISPs fill pools densely, military space is often dark.
+INDUSTRY_UTILISATION: dict[Industry, float] = {
+    Industry.ISP: 1.00,
+    Industry.CORPORATE: 0.55,
+    Industry.EDUCATION: 0.50,
+    Industry.GOVERNMENT: 0.35,
+    Industry.MILITARY: 0.06,
+    Industry.UNCLASSIFIED: 0.45,
+}
+
+#: Probability that an allocation is ever publicly routed, per industry
+#: (about 80 % of allocated space is routed overall [14]).
+INDUSTRY_ROUTED_PROB: dict[Industry, float] = {
+    Industry.ISP: 0.95,
+    Industry.CORPORATE: 0.80,
+    Industry.EDUCATION: 0.85,
+    Industry.GOVERNMENT: 0.60,
+    Industry.MILITARY: 0.40,
+    Industry.UNCLASSIFIED: 0.70,
+}

@@ -1,0 +1,183 @@
+"""Whois-style records and industry classification.
+
+The paper's industry stratification comes from whois: "We classified
+88 % of the allocated address space based on whois information (down
+to /17 networks)" into education / military / government / corporate /
+ISP.  This module closes the loop on that substrate: it renders the
+synthetic registry as RPSL-ish ``inetnum`` records (with realistic
+noise — a fraction of records carry no usable organisation info),
+parses such records back, and classifies organisation names into the
+paper's industry buckets by keyword, reporting the classified-space
+coverage the paper quotes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ipspace.addresses import format_addr
+from repro.registry.allocations import Allocation, AllocationRegistry
+from repro.registry.rir import Industry
+
+#: Organisation-name stems per industry used when rendering records.
+_ORG_STEMS: dict[Industry, tuple[str, ...]] = {
+    Industry.ISP: ("Telecom", "Broadband", "Cable", "Net Services", "ISP",
+                   "Communications"),
+    Industry.CORPORATE: ("Holdings", "Industries", "Trading Co", "Logistics",
+                         "Manufacturing", "Retail Group"),
+    Industry.EDUCATION: ("University", "Institute of Technology", "College",
+                         "Academy"),
+    Industry.GOVERNMENT: ("Ministry of Interior", "National Agency",
+                          "Department of Transport", "City Council"),
+    Industry.MILITARY: ("Defence Forces", "Army Network", "Naval Command"),
+    Industry.UNCLASSIFIED: ("",),
+}
+
+#: Keyword -> industry rules for the classifier (checked in order; the
+#: military stems must match before the government ones).
+_KEYWORD_RULES: tuple[tuple[str, Industry], ...] = (
+    (r"defen[cs]e|army|naval|military|air force", Industry.MILITARY),
+    (r"universit|college|institute of technology|academy|school",
+     Industry.EDUCATION),
+    (r"ministry|government|national agency|department of|council|federal",
+     Industry.GOVERNMENT),
+    (r"telecom|broadband|cable|isp|net services|communications|internet",
+     Industry.ISP),
+    (r"holdings|industries|trading|logistics|manufacturing|retail|bank|corp",
+     Industry.CORPORATE),
+)
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """One parsed ``inetnum`` record."""
+
+    first: int
+    last: int
+    netname: str
+    organisation: str
+    country: str
+
+    @property
+    def size(self) -> int:
+        return self.last - self.first + 1
+
+
+def render_whois(
+    alloc: Allocation, rng: np.random.Generator, missing_prob: float = 0.12
+) -> str:
+    """An RPSL-style record for one allocation.
+
+    With probability ``missing_prob`` the organisation field is the
+    useless ``"Private Customer"`` — the 12 % of space the paper could
+    not classify.
+    """
+    if rng.random() < missing_prob:
+        org = "Private Customer"
+    else:
+        stems = _ORG_STEMS[alloc.industry]
+        stem = stems[int(rng.integers(len(stems)))]
+        org = f"{alloc.country} {stem}".strip() or "Private Customer"
+    return "\n".join([
+        f"inetnum:      {format_addr(alloc.prefix.base)} - "
+        f"{format_addr(alloc.prefix.last)}",
+        f"netname:      NET-{alloc.country}-{alloc.index:05d}",
+        f"organisation: {org}",
+        f"country:      {alloc.country}",
+        f"created:      {alloc.year}-01-01",
+        "source:       SYNTHETIC-RIR",
+    ])
+
+
+def parse_whois(text: str) -> WhoisRecord:
+    """Parse one rendered record (raises ValueError on malformed input)."""
+    fields: dict[str, str] = {}
+    for line in text.splitlines():
+        key, _, value = line.partition(":")
+        fields[key.strip().lower()] = value.strip()
+    if "inetnum" not in fields:
+        raise ValueError("record has no inetnum line")
+    match = re.match(
+        r"^(\d+\.\d+\.\d+\.\d+)\s*-\s*(\d+\.\d+\.\d+\.\d+)$",
+        fields["inetnum"],
+    )
+    if not match:
+        raise ValueError(f"malformed inetnum range: {fields['inetnum']!r}")
+    from repro.ipspace.addresses import parse_addr
+
+    first = parse_addr(match.group(1))
+    last = parse_addr(match.group(2))
+    if last < first:
+        raise ValueError("inetnum range reversed")
+    return WhoisRecord(
+        first=first,
+        last=last,
+        netname=fields.get("netname", ""),
+        organisation=fields.get("organisation", ""),
+        country=fields.get("country", "??"),
+    )
+
+
+def classify_industry(organisation: str) -> Industry:
+    """Keyword classification of an organisation name (the paper's
+    whois-based industry assignment)."""
+    lowered = organisation.lower()
+    for pattern, industry in _KEYWORD_RULES:
+        if re.search(pattern, lowered):
+            return industry
+    return Industry.UNCLASSIFIED
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Outcome of classifying a whole registry from whois text."""
+
+    total_space: int
+    classified_space: int
+    correct_space: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of space assigned a (non-UNCLASSIFIED) industry."""
+        if self.total_space == 0:
+            return 0.0
+        return self.classified_space / self.total_space
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of *classified* space assigned its true industry."""
+        if self.classified_space == 0:
+            return 0.0
+        return self.correct_space / self.classified_space
+
+
+def classify_registry(
+    registry: AllocationRegistry,
+    rng: np.random.Generator,
+    missing_prob: float = 0.12,
+) -> ClassificationReport:
+    """Render + parse + classify every allocation; report coverage.
+
+    The paper classified 88 % of the allocated space; with the default
+    missing probability this round-trip reproduces that figure.
+    """
+    total = classified = correct = 0
+    for alloc in registry:
+        record = parse_whois(render_whois(alloc, rng, missing_prob))
+        industry = classify_industry(record.organisation)
+        total += alloc.prefix.size
+        if industry is not Industry.UNCLASSIFIED:
+            classified += alloc.prefix.size
+            true_industry = alloc.industry
+            if industry == true_industry or (
+                true_industry is Industry.UNCLASSIFIED
+            ):
+                correct += alloc.prefix.size
+    return ClassificationReport(
+        total_space=total,
+        classified_space=classified,
+        correct_space=correct,
+    )

@@ -1,0 +1,37 @@
+"""Synthetic Internet: ground-truth used-address population.
+
+This package is the measurement substrate the reproduction runs on in
+place of the real Internet: a ground-truth population of used IPv4
+addresses laid over the synthetic registry, with host types,
+heavy-tailed per-block utilisation, non-uniform last octets, dynamic
+(DHCP-style) pools and linear temporal growth — every structural
+property the paper's estimators and filters are sensitive to, with the
+truth known exactly so validation is exact rather than anecdotal.
+"""
+
+from repro.simnet.density import (
+    LAST_BYTE_PMF,
+    draw_subnet_population,
+    last_byte_probabilities,
+)
+from repro.simnet.dynamics import ChurnObservation, simulate_session_churn
+from repro.simnet.hosts import HOST_TYPE_NAMES, HostType
+from repro.simnet.internet import SimulationConfig, SyntheticInternet
+from repro.simnet.population import GroundTruthPopulation, generate_population
+from repro.simnet.scenarios import Scenario, standard_scenarios
+
+__all__ = [
+    "ChurnObservation",
+    "GroundTruthPopulation",
+    "HOST_TYPE_NAMES",
+    "HostType",
+    "LAST_BYTE_PMF",
+    "Scenario",
+    "SimulationConfig",
+    "standard_scenarios",
+    "SyntheticInternet",
+    "draw_subnet_population",
+    "generate_population",
+    "last_byte_probabilities",
+    "simulate_session_churn",
+]

@@ -1,0 +1,106 @@
+"""Per-/24 occupancy and last-octet distributions.
+
+Two empirical regularities the paper leans on are reproduced here:
+
+* Block-level utilisation is heavy-tailed (Cai & Heidemann): a minority
+  of used /24s are densely filled (ISP pools, server farms) while most
+  hold a handful of addresses.  The mixture below yields a mean around
+  190 addresses per used /24 — the ratio the paper's headline numbers
+  imply (1.2 B addresses / 6.3 M used /24s).
+
+* The final byte of used addresses is *not* uniform (low bytes, .1,
+  and .254-style gateway conventions are over-represented) — the very
+  fact the spoof filter's Bayes step exploits, since spoofed addresses
+  have uniform final bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def last_byte_probabilities() -> np.ndarray:
+    """P(B) over the 256 final-byte values for used addresses.
+
+    Built from conventions: .0 and .255 are (sub)network/broadcast and
+    rarely host addresses; .1/.254 are gateway favourites; low bytes
+    are assigned first by humans and by lowest-first DHCP ranges; a
+    mild geometric decay covers the rest.
+    """
+    b = np.arange(256, dtype=np.float64)
+    pmf = 0.35 * np.exp(-b / 40.0) + 0.65 / 256.0
+    pmf[0] *= 0.10
+    pmf[255] *= 0.15
+    pmf[1] *= 6.0
+    pmf[254] *= 3.0
+    for popular in (2, 10, 100, 101, 200):
+        pmf[popular] *= 1.8
+    return pmf / pmf.sum()
+
+
+#: Module-level constant: the canonical last-byte pmf.
+LAST_BYTE_PMF: np.ndarray = last_byte_probabilities()
+
+
+def draw_subnet_sizes(
+    rng: np.random.Generator,
+    count: int,
+    dense_fraction: float = 0.72,
+    dense_mean: float = 235.0,
+    sparse_mean: float = 12.0,
+) -> np.ndarray:
+    """Number of used addresses for ``count`` used /24 blocks.
+
+    Mixture of dense pools (truncated geometric around ``dense_mean``,
+    capped at 254 usable hosts) and sparse blocks.  Every used /24 has
+    at least one address by definition.
+    """
+    if count <= 0:
+        return np.zeros(0, dtype=np.int64)
+    dense = rng.random(count) < dense_fraction
+    sizes = np.empty(count, dtype=np.int64)
+    n_dense = int(dense.sum())
+    if n_dense:
+        draw = rng.normal(dense_mean, 45.0, size=n_dense)
+        sizes[dense] = np.clip(np.round(draw), 8, 254).astype(np.int64)
+    n_sparse = count - n_dense
+    if n_sparse:
+        draw = 1 + rng.geometric(1.0 / sparse_mean, size=n_sparse)
+        sizes[~dense] = np.clip(draw, 1, 254)
+    return sizes
+
+
+def draw_last_bytes(rng: np.random.Generator, size: int) -> np.ndarray:
+    """``size`` distinct final bytes for one /24, biased by LAST_BYTE_PMF."""
+    size = min(size, 254)
+    # Weighted sampling without replacement via exponential race.
+    keys = rng.exponential(1.0, 256) / LAST_BYTE_PMF
+    chosen = np.argpartition(keys, size)[:size]
+    return np.sort(chosen).astype(np.uint8)
+
+
+def draw_subnet_population(
+    rng: np.random.Generator, subnet_bases: np.ndarray, sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Used addresses for a batch of /24 blocks.
+
+    ``subnet_bases`` are the /24 base addresses, ``sizes`` the address
+    count per block.  Returns ``(addresses, subnet_index)`` where
+    ``subnet_index`` maps each address back to its block's position in
+    the input arrays.
+    """
+    bases = np.asarray(subnet_bases, dtype=np.uint32)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if bases.shape != sizes.shape:
+        raise ValueError("bases and sizes must align")
+    chunks = []
+    owners = []
+    for i, (base, size) in enumerate(zip(bases, sizes)):
+        if size <= 0:
+            continue
+        bytes_ = draw_last_bytes(rng, int(size))
+        chunks.append(base + bytes_.astype(np.uint32))
+        owners.append(np.full(len(bytes_), i, dtype=np.int64))
+    if not chunks:
+        return np.zeros(0, dtype=np.uint32), np.zeros(0, dtype=np.int64)
+    return np.concatenate(chunks), np.concatenate(owners)

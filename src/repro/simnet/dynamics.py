@@ -1,0 +1,92 @@
+"""Dynamic-address churn at session granularity (Section 4.6).
+
+The paper validates that /24 subnets are far less affected by dynamic
+addressing than individual addresses using 16 days of game-session
+data: after every client had logged in once, distinct observed IPv4
+addresses still grew 2.7x while distinct /24s grew only 1.2x.  This
+module simulates that experiment: clients with stable identities log
+in repeatedly; each session draws an address from the client's home
+pool, which usually stays within the same /24 and occasionally hops to
+a nearby one (mobility, pool rebalancing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChurnObservation:
+    """Distinct addresses and /24s observed by the end of each day."""
+
+    days: np.ndarray
+    distinct_addresses: np.ndarray
+    distinct_subnets: np.ndarray
+    all_seen_day: int  # first day by which every client had logged in
+
+    def growth_after_saturation(self) -> tuple[float, float]:
+        """(address growth factor, /24 growth factor) after all clients seen.
+
+        The paper's numbers for these two factors are 2.7 and 1.2.
+        """
+        i = self.all_seen_day
+        addr_factor = float(
+            self.distinct_addresses[-1] / max(self.distinct_addresses[i], 1)
+        )
+        subnet_factor = float(
+            self.distinct_subnets[-1] / max(self.distinct_subnets[i], 1)
+        )
+        return addr_factor, subnet_factor
+
+
+def simulate_session_churn(
+    rng: np.random.Generator,
+    num_clients: int = 20_000,
+    num_days: int = 16,
+    sessions_per_day: float = 0.9,
+    pool_subnets: int = 8,
+    cross_subnet_prob: float = 0.035,
+    pool_base_space: int = 2**28,
+) -> ChurnObservation:
+    """Run the 16-day login experiment.
+
+    Each client owns a home /24 inside a provider pool of
+    ``pool_subnets`` /24s; a session draws a fresh last octet in the
+    home /24 (DHCP renumbering) and with ``cross_subnet_prob`` lands in
+    a sibling /24 instead (mobility across pool segments).
+    """
+    if num_clients <= 0 or num_days <= 0:
+        raise ValueError("need positive clients and days")
+    home24 = rng.integers(0, pool_base_space // 256, size=num_clients, dtype=np.int64)
+    seen_addrs: set[int] = set()
+    seen_subnets: set[int] = set()
+    seen_clients = np.zeros(num_clients, dtype=bool)
+    days = np.arange(1, num_days + 1)
+    addr_counts = np.zeros(num_days, dtype=np.int64)
+    subnet_counts = np.zeros(num_days, dtype=np.int64)
+    all_seen_day = num_days - 1
+    all_seen_found = False
+    for day in range(num_days):
+        active = rng.random(num_clients) < sessions_per_day
+        idx = np.flatnonzero(active)
+        seen_clients[idx] = True
+        subnet = home24[idx].copy()
+        hop = rng.random(len(idx)) < cross_subnet_prob
+        subnet[hop] += rng.integers(1, pool_subnets, size=int(hop.sum()))
+        last = rng.integers(1, 255, size=len(idx))
+        addrs = subnet * 256 + last
+        seen_addrs.update(addrs.tolist())
+        seen_subnets.update(subnet.tolist())
+        addr_counts[day] = len(seen_addrs)
+        subnet_counts[day] = len(seen_subnets)
+        if not all_seen_found and seen_clients.all():
+            all_seen_day = day
+            all_seen_found = True
+    return ChurnObservation(
+        days=days,
+        distinct_addresses=addr_counts,
+        distinct_subnets=subnet_counts,
+        all_seen_day=all_seen_day,
+    )

@@ -1,0 +1,56 @@
+"""Host types and their per-industry mix.
+
+The paper groups devices into routers, servers/proxies, clients and
+specialised devices (Section 4.2) and reasons about which sources can
+sample which group.  The simulator assigns every used address one of
+these types; measurement sources key their capture probabilities off
+it, which is exactly what creates the population heterogeneity the
+log-linear models must cope with.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+from repro.registry.rir import Industry
+
+
+class HostType(IntEnum):
+    """Device classes from the paper's Section 4.2."""
+
+    ROUTER = 0
+    SERVER = 1
+    CLIENT = 2
+    SPECIALISED = 3
+
+
+HOST_TYPE_NAMES: tuple[str, ...] = tuple(t.name for t in HostType)
+
+#: P(host type | industry of the enclosing allocation).  Rows sum to 1.
+#: ISP space is dominated by client-facing addresses (subscribers and
+#: NAT'ed home routers, which from outside look like clients); corporate
+#: and education space carries more servers; specialised devices
+#: (printers, cameras) are a thin tail everywhere.
+_TYPE_MIX: dict[Industry, tuple[float, float, float, float]] = {
+    Industry.ISP: (0.05, 0.04, 0.89, 0.02),
+    Industry.CORPORATE: (0.08, 0.27, 0.58, 0.07),
+    Industry.EDUCATION: (0.07, 0.25, 0.62, 0.06),
+    Industry.GOVERNMENT: (0.10, 0.35, 0.45, 0.10),
+    Industry.MILITARY: (0.15, 0.40, 0.30, 0.15),
+    Industry.UNCLASSIFIED: (0.06, 0.14, 0.75, 0.05),
+}
+
+
+def type_mix(industry: Industry) -> np.ndarray:
+    """Host-type probabilities for an industry (indexed by HostType)."""
+    return np.asarray(_TYPE_MIX[industry], dtype=np.float64)
+
+
+def draw_host_types(
+    rng: np.random.Generator, industry: Industry, count: int
+) -> np.ndarray:
+    """Draw ``count`` host types (int8 codes) for one allocation."""
+    mix = type_mix(industry)
+    return rng.choice(len(HostType), size=count, p=mix).astype(np.int8)

@@ -1,0 +1,98 @@
+"""Named simulation scenarios.
+
+Stress regimes for testing estimator behaviour beyond the baseline
+Internet: each scenario is a :class:`SimulationConfig` plus source-
+parameter overrides applied after :func:`build_standard_sources`.
+They answer "what if" questions the paper raises qualitatively —
+heavier spoofing, more firewalled clients, stronger heterogeneity —
+with a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simnet.internet import SimulationConfig, SyntheticInternet
+from repro.sources.base import MeasurementSource
+from repro.sources.catalog import build_standard_sources
+
+
+def _no_mutation(sources: dict[str, MeasurementSource]) -> None:
+    """Default source mutation: leave the standard suite untouched."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named simulation regime."""
+
+    name: str
+    description: str
+    config: SimulationConfig
+    mutate_sources: Callable[[dict[str, MeasurementSource]], None] = field(
+        default=_no_mutation
+    )
+
+    def build(self) -> tuple[SyntheticInternet, dict[str, MeasurementSource]]:
+        """Instantiate the internet and its (mutated) source suite."""
+        internet = SyntheticInternet(self.config)
+        sources = build_standard_sources(internet)
+        self.mutate_sources(sources)
+        return internet, sources
+
+
+def _heavier_spoofing(sources: dict[str, MeasurementSource]) -> None:
+    for name in ("SWIN", "CALT"):
+        source = sources[name]
+        source.spoof_per_quarter *= 8  # type: ignore[attr-defined]
+
+
+def _fortress_internet(sources: dict[str, MeasurementSource]) -> None:
+    # Clients answer pings even more rarely: firewall everything.
+    for name in ("IPING", "TPING"):
+        source = sources[name]
+        source.response_probs = source.response_probs * 0.5  # type: ignore
+
+
+def _sparse_logs(sources: dict[str, MeasurementSource]) -> None:
+    for name in ("WIKI", "SPAM", "MLAB", "WEB", "GAME"):
+        source = sources[name]
+        source.rate *= 0.3  # type: ignore[attr-defined]
+
+
+def standard_scenarios(
+    scale: float = 2.0**-13, seed: int = 424242
+) -> dict[str, Scenario]:
+    """The built-in stress regimes."""
+    return {
+        "baseline": Scenario(
+            name="baseline",
+            description="the tuned paper-like Internet",
+            config=SimulationConfig(scale=scale, seed=seed),
+        ),
+        "heavy_spoof": Scenario(
+            name="heavy_spoof",
+            description="8x spoof volume on both NetFlow feeds",
+            config=SimulationConfig(scale=scale, seed=seed),
+            mutate_sources=_heavier_spoofing,
+        ),
+        "fortress": Scenario(
+            name="fortress",
+            description="half the census response rates (firewalls up)",
+            config=SimulationConfig(scale=scale, seed=seed),
+            mutate_sources=_fortress_internet,
+        ),
+        "sparse_logs": Scenario(
+            name="sparse_logs",
+            description="passive log volumes cut to 30 %",
+            config=SimulationConfig(scale=scale, seed=seed),
+            mutate_sources=_sparse_logs,
+        ),
+        "high_churn": Scenario(
+            name="high_churn",
+            description="stronger activity heterogeneity (sigma 1.8)",
+            config=SimulationConfig(
+                scale=scale, seed=seed, activity_sigma=1.8
+            ),
+        ),
+    }

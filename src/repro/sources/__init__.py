@@ -1,0 +1,42 @@
+"""Measurement sources: the paper's nine datasets, simulated.
+
+Each source subsamples the ground-truth population with its own bias:
+the ICMP/TCP censuses respond by host type, the five log sources see
+activity-weighted client traffic, and the two NetFlow sources add
+uniform spoofed addresses on top of broad legitimate sampling.  All
+sources observe at quarter granularity so that overlapping 12-month
+windows see consistent data, exactly like logs accumulated over time.
+"""
+
+from repro.sources.active import CensusSource, icmp_census, tcp_census
+from repro.sources.base import MeasurementSource, QuarterlySource, quarter_of
+from repro.sources.catalog import SOURCE_NAMES, build_standard_sources
+from repro.sources.logparse import (
+    ParseResult,
+    load_dataset,
+    parse_address_list,
+    parse_common_log,
+    parse_flow_csv,
+)
+from repro.sources.netflow import NetFlowSource
+from repro.sources.passive import LogSource
+from repro.sources.spoofing import draw_spoofed_addresses
+
+__all__ = [
+    "CensusSource",
+    "LogSource",
+    "MeasurementSource",
+    "NetFlowSource",
+    "ParseResult",
+    "QuarterlySource",
+    "SOURCE_NAMES",
+    "load_dataset",
+    "parse_address_list",
+    "parse_common_log",
+    "parse_flow_csv",
+    "build_standard_sources",
+    "draw_spoofed_addresses",
+    "icmp_census",
+    "quarter_of",
+    "tcp_census",
+]

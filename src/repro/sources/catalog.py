@@ -1,0 +1,101 @@
+"""The standard nine-source suite of the paper (Table 2).
+
+Rates and availability windows are tuned so that, at any simulation
+scale, the *relative* dataset sizes match Table 2: IPING the largest,
+CALT huge but late (Jun 2013 on), WEB big and growing strongly, SPAM
+starting May 2012, TPING from March 2012, WIKI small but steady.
+Spoof volumes follow Section 4.5 (SWIN stable, CALT spiking in March
+2014).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simnet.internet import SyntheticInternet
+from repro.sources.active import icmp_census, tcp_census
+from repro.sources.base import MeasurementSource, quarter_of
+from repro.sources.netflow import NetFlowSource
+from repro.sources.passive import LogSource
+
+SOURCE_NAMES: tuple[str, ...] = (
+    "WIKI",
+    "SPAM",
+    "MLAB",
+    "WEB",
+    "GAME",
+    "SWIN",
+    "CALT",
+    "IPING",
+    "TPING",
+)
+
+#: Real spoofed addresses per 12-month window across the whole 32-bit
+#: space implied by the paper's per-/8 numbers (S x 256): SWIN
+#: 10-15 k/8, CALT 15-20 k/8 jumping to ~250 k/8 in March 2014.
+#: These volumes are *not* scaled down with the simulation: spoofing is
+#: an attack-traffic density over the whole 32-bit space, and the
+#: filter's binomial calibration depends on that density, not on the
+#: size of the legitimate population.
+_SWIN_SPOOF_PER_YEAR = 3_200_000
+_CALT_SPOOF_PER_YEAR = 4_500_000
+
+
+def build_standard_sources(
+    internet: SyntheticInternet, seed: int | None = None
+) -> dict[str, MeasurementSource]:
+    """Instantiate the nine paper sources over a synthetic Internet.
+
+    ``seed`` defaults to the Internet's own seed; sources are fully
+    deterministic given (internet, seed).  Ground-truth network F's
+    prefix is blocked on both censuses, reproducing Table 4's
+    ping-less network.
+    """
+    pop = internet.population
+    if seed is None:
+        seed = internet.config.seed + 1
+    spoof_support = internet.registry.allocated_space()
+    networks = internet.ground_truth_networks()
+    blocked = tuple(
+        n.allocation.prefix for n in networks if n.blocks_pings
+    )
+    spike_quarter = quarter_of(2014.25)
+    sources: dict[str, MeasurementSource] = {
+        "WIKI": LogSource(
+            "WIKI", pop, seed, rate=0.0062, available_from=2011.0,
+            activity_exponent=1.1, yearly_rate_growth=0.10,
+        ),
+        "SPAM": LogSource(
+            "SPAM", pop, seed, rate=0.025, available_from=2012.37,
+            activity_exponent=0.8,
+            affinity=np.array([0.02, 0.35, 1.0, 0.0]),
+        ),
+        "MLAB": LogSource(
+            "MLAB", pop, seed, rate=0.040, available_from=2011.0,
+            activity_exponent=0.9, yearly_rate_growth=-0.12,
+        ),
+        "WEB": LogSource(
+            "WEB", pop, seed, rate=0.047, available_from=2011.17,
+            activity_exponent=1.0, yearly_rate_growth=0.75,
+        ),
+        "GAME": LogSource(
+            "GAME", pop, seed, rate=0.055, available_from=2011.0,
+            activity_exponent=0.7, yearly_rate_growth=0.18,
+        ),
+        "SWIN": NetFlowSource(
+            "SWIN", pop, seed, rate=0.16, available_from=2011.0,
+            spoof_per_quarter=_SWIN_SPOOF_PER_YEAR // 4,
+            activity_exponent=1.05, spoof_support=spoof_support,
+        ),
+        "CALT": NetFlowSource(
+            "CALT", pop, seed, rate=1.30, available_from=2013.42,
+            spoof_per_quarter=_CALT_SPOOF_PER_YEAR // 4,
+            spoof_spike_quarter=spike_quarter,
+            spoof_spike_factor=13.0,
+            activity_exponent=0.95, spoof_support=spoof_support,
+        ),
+        "IPING": icmp_census(pop, seed, blocked_prefixes=blocked),
+        "TPING": tcp_census(pop, seed, blocked_prefixes=blocked),
+    }
+    assert tuple(sources) == SOURCE_NAMES
+    return sources

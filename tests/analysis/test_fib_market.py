@@ -1,0 +1,78 @@
+"""FIB accounting (7.2.1) and market valuation (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fib import (
+    FIB_CAPACITY_2007,
+    FIB_CAPACITY_FEASIBLE,
+    forecast_fib,
+    routable_unused_prefixes,
+)
+from repro.analysis.market import (
+    MarketValuation,
+    value_unused_space,
+    value_unused_subnets,
+)
+from repro.ipspace.blocks import NUM_LEVELS
+
+
+class TestFib:
+    def make_vacancy(self, **levels):
+        vac = np.zeros(NUM_LEVELS)
+        for length, count in levels.items():
+            vac[int(length.lstrip("l"))] = count
+        return vac
+
+    def test_routable_counts_only_24_or_larger(self):
+        vac = self.make_vacancy(l8=2, l16=10, l24=100, l25=50, l32=1000)
+        assert routable_unused_prefixes(vac) == 112
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            routable_unused_prefixes(np.zeros(5))
+
+    def test_paper_arithmetic(self):
+        """0.78 M unused + 0.5 M current fits the 2 M FIB."""
+        vac = self.make_vacancy(l24=780_000)
+        forecast = forecast_fib(vac, current_routes=500_000)
+        assert forecast.total_routes == 1_280_000
+        assert forecast.fits_current_hardware
+        assert forecast.fits_feasible_hardware
+        assert forecast.utilisation == pytest.approx(1_280_000 / 2_000_000)
+
+    def test_overflow_detected(self):
+        vac = self.make_vacancy(l24=3_000_000)
+        forecast = forecast_fib(vac, current_routes=500_000)
+        assert not forecast.fits_current_hardware
+        assert forecast.fits_feasible_hardware
+        assert FIB_CAPACITY_2007 < forecast.total_routes < (
+            FIB_CAPACITY_FEASIBLE
+        )
+
+    def test_negative_routes_rejected(self):
+        with pytest.raises(ValueError):
+            forecast_fib(np.zeros(NUM_LEVELS), current_routes=-1)
+
+
+class TestMarket:
+    def test_paper_valuation(self):
+        """4.4 M unused /24s at US$10/IP ~ US$11 B."""
+        valuation = value_unused_subnets(4.4e6)
+        assert valuation.mid == pytest.approx(11.3e9, rel=0.02)
+        assert valuation.low < valuation.mid < valuation.high
+
+    def test_price_band(self):
+        v = value_unused_space(1000)
+        assert v.low == 8_000 and v.mid == 10_000 and v.high == 17_000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            value_unused_space(-1)
+        with pytest.raises(ValueError):
+            value_unused_space(10, price_low=5, price_avg=3, price_high=9)
+
+    def test_describe(self):
+        v = MarketValuation(addresses=1.1e9, low=9e9, mid=11e9, high=19e9)
+        text = v.describe()
+        assert "11.0 B" in text and "1100 M" in text

@@ -1,0 +1,46 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    fmt_millions,
+    fmt_real_millions,
+    format_table,
+    to_real,
+)
+
+
+class TestScaling:
+    def test_to_real(self):
+        assert to_real(100, 2.0**-10) == 102400
+
+    def test_to_real_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            to_real(1, 0)
+
+    def test_fmt_millions_precision(self):
+        assert fmt_millions(1_234_000_000) == "1234"
+        assert fmt_millions(56_700_000) == "56.7"
+        assert fmt_millions(5_670_000) == "5.67"
+
+    def test_fmt_real_millions(self):
+        assert fmt_real_millions(1000, 2.0**-10) == "1.02"
+
+
+class TestTable:
+    def test_rendering(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1], ["beta", 22]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert "alpha" in lines[3] and "22" in lines[4]
+
+    def test_column_alignment(self):
+        text = format_table(["a"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[-1])

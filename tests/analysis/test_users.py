@@ -1,0 +1,47 @@
+"""Internet-user growth model (Section 6.9)."""
+
+import pytest
+
+from repro.analysis.users import (
+    address_growth_from_users,
+    expected_growth_band,
+    user_growth_per_year,
+)
+
+
+class TestUserGrowth:
+    def test_paper_period_growth(self):
+        """~250 M new users per year between 2007 and 2012."""
+        growth = user_growth_per_year(2007, 2012)
+        assert growth == pytest.approx(250, rel=0.15)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            user_growth_per_year(2013, 2013)
+
+
+class TestAddressGrowth:
+    def test_formula(self):
+        # g_I = (1/H + p_E/W) g_U with H=4, W=10, p_E=0.65, g_U=200.
+        expected = (1 / 4 + 0.65 / 10) * 200
+        assert address_growth_from_users(200, 4, 10) == pytest.approx(expected)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            address_growth_from_users(200, 0, 10)
+        with pytest.raises(ValueError):
+            address_growth_from_users(200, 4, 10, employment_ratio=1.5)
+
+    def test_band_matches_paper(self):
+        """H in [2,5], W in [2,200] -> roughly 50-205 M/yr."""
+        band = expected_growth_band()
+        assert band.low == pytest.approx(50, rel=0.25)
+        assert band.high == pytest.approx(205, rel=0.25)
+
+    def test_paper_estimate_inside_band(self):
+        """The paper's 170 M/yr CR estimate falls in the band."""
+        assert expected_growth_band().contains(170)
+
+    def test_band_ordering(self):
+        band = expected_growth_band(user_growth=100)
+        assert band.low < band.high

@@ -1,0 +1,47 @@
+"""Observation-window machinery."""
+
+import pytest
+
+from repro.analysis.windows import TimeWindow, standard_windows
+
+
+class TestTimeWindow:
+    def test_length_and_midpoint(self):
+        w = TimeWindow(2011.0, 2012.0)
+        assert w.length == 1.0
+        assert w.midpoint == 2011.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(2012.0, 2012.0)
+
+    def test_ordering(self):
+        assert TimeWindow(2011.0, 2012.0) < TimeWindow(2011.25, 2012.25)
+
+    @pytest.mark.parametrize(
+        "end,label",
+        [(2012.0, "Dec 2011"), (2012.25, "Mar 2012"),
+         (2012.5, "Jun 2012"), (2012.75, "Sep 2012"),
+         (2014.5, "Jun 2014")],
+    )
+    def test_labels(self, end, label):
+        assert TimeWindow(end - 1.0, end).label() == label
+
+
+class TestStandardWindows:
+    def test_eleven_windows(self):
+        windows = standard_windows()
+        assert len(windows) == 11
+
+    def test_paper_boundaries(self):
+        windows = standard_windows()
+        assert windows[0] == TimeWindow(2011.0, 2012.0)
+        assert windows[-1] == TimeWindow(2013.5, 2014.5)
+
+    def test_quarterly_steps(self):
+        windows = standard_windows()
+        steps = [b.start - a.start for a, b in zip(windows, windows[1:])]
+        assert all(abs(s - 0.25) < 1e-9 for s in steps)
+
+    def test_all_twelve_months(self):
+        assert all(abs(w.length - 1.0) < 1e-9 for w in standard_windows())

@@ -1,0 +1,108 @@
+"""Bootstrap uncertainty for CR estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import (
+    BootstrapResult,
+    bootstrap_population,
+    resample_table,
+)
+from repro.core.design import main_effect_terms
+from repro.core.histories import ContingencyTable, tabulate_histories
+from tests.conftest import make_independent_sources
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(77)
+    N, sources = make_independent_sources(rng, 20_000, [0.3, 0.35, 0.25])
+    return N, tabulate_histories(sources)
+
+
+class TestResample:
+    def test_total_preserved(self, setup):
+        _, table = setup
+        rng = np.random.default_rng(1)
+        replicate = resample_table(table, rng)
+        assert replicate.num_observed == table.num_observed
+        assert replicate.counts[0] == 0
+        assert replicate.source_names == table.source_names
+
+    def test_replicates_vary(self, setup):
+        _, table = setup
+        rng = np.random.default_rng(1)
+        a = resample_table(table, rng)
+        b = resample_table(table, rng)
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_empty_rejected(self):
+        table = ContingencyTable(2, np.array([0, 0, 0, 0]))
+        with pytest.raises(ValueError):
+            resample_table(table, np.random.default_rng(0))
+
+
+class TestBootstrap:
+    def test_interval_calibrated_against_truth(self, setup):
+        """A single experiment's CI may just miss the truth (that is
+        what confidence means), but the point estimate must sit within
+        a few bootstrap SEs of it, and the interval must bracket the
+        point estimate."""
+        N, table = setup
+        result = bootstrap_population(
+            table, main_effect_terms(3), num_replicates=100, seed=3
+        )
+        lo, hi = result.interval
+        assert lo < result.point < hi
+        assert abs(result.point - N) < 4.5 * result.standard_error
+
+    def test_standard_error_reasonable(self, setup):
+        N, table = setup
+        result = bootstrap_population(
+            table, main_effect_terms(3), num_replicates=100, seed=3
+        )
+        # SE is a small fraction of the estimate for this sample size.
+        assert 0 < result.standard_error < 0.05 * result.point
+
+    def test_agrees_with_profile_likelihood(self, setup):
+        """Bootstrap and profile intervals agree on scale (same order
+        of width) for well-behaved data."""
+        from repro.core.profile_ci import profile_likelihood_interval
+
+        _, table = setup
+        boot = bootstrap_population(
+            table, main_effect_terms(3), num_replicates=150, seed=5,
+            confidence=0.95,
+        )
+        profile = profile_likelihood_interval(
+            table, main_effect_terms(3), alpha=0.05
+        )
+        boot_width = boot.interval[1] - boot.interval[0]
+        profile_width = profile.population_high - profile.population_low
+        assert 0.3 < boot_width / profile_width < 3.0
+
+    def test_reselect_mode(self, setup):
+        _, table = setup
+        result = bootstrap_population(
+            table, main_effect_terms(3), num_replicates=20, seed=3,
+            reselect=True, divisor=1,
+        )
+        assert len(result.replicates) >= 15
+
+    def test_validation(self, setup):
+        _, table = setup
+        with pytest.raises(ValueError):
+            bootstrap_population(table, main_effect_terms(3),
+                                 num_replicates=1)
+        with pytest.raises(ValueError):
+            bootstrap_population(table, main_effect_terms(3),
+                                 confidence=1.5)
+
+    def test_result_dataclass(self):
+        result = BootstrapResult(
+            point=100.0,
+            replicates=np.array([90.0, 95.0, 105.0, 110.0]),
+            confidence=0.5,
+        )
+        lo, hi = result.interval
+        assert 90 <= lo <= hi <= 110

@@ -1,0 +1,64 @@
+"""Chao lower-bound estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.chao import chao_estimate
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.ipspace.ipset import IPSet
+from tests.conftest import make_heterogeneous_sources, make_independent_sources
+
+
+def table_from_frequencies(f1, f2, f3=0):
+    """Build a 3-source table with given capture frequencies."""
+    counts = np.zeros(8, dtype=np.int64)
+    counts[0b001] = f1  # f1 singletons all in source 0
+    counts[0b011] = f2  # doubletons in 0+1
+    counts[0b111] = f3
+    return ContingencyTable(3, counts)
+
+
+class TestChaoFormula:
+    def test_classic_value(self):
+        table = table_from_frequencies(f1=30, f2=10)
+        est = chao_estimate(table, bias_corrected=False)
+        assert est.population == pytest.approx(40 + 30 * 30 / (2 * 10))
+
+    def test_corrected_value(self):
+        table = table_from_frequencies(f1=30, f2=10)
+        est = chao_estimate(table)
+        assert est.population == pytest.approx(40 + 30 * 29 / (2 * 11))
+
+    def test_classic_rejects_zero_doubletons(self):
+        with pytest.raises(ZeroDivisionError):
+            chao_estimate(table_from_frequencies(5, 0), bias_corrected=False)
+
+    def test_corrected_finite_with_zero_doubletons(self):
+        est = chao_estimate(table_from_frequencies(5, 0))
+        assert np.isfinite(est.population)
+
+    def test_unseen_nonnegative(self):
+        est = chao_estimate(table_from_frequencies(0, 10))
+        assert est.unseen == 0.0
+
+    def test_standard_error_positive(self):
+        est = chao_estimate(table_from_frequencies(30, 10))
+        assert est.standard_error > 0
+
+
+class TestChaoStatistics:
+    def test_near_unbiased_under_poisson_sampling(self, rng):
+        """Chao's moment estimator is near-unbiased when capture is
+        Poisson-like (many occasions, small per-occasion probability);
+        with few high-probability occasions it overshoots."""
+        N, sources = make_independent_sources(rng, 20_000, [0.1] * 8)
+        est = chao_estimate(tabulate_histories(sources))
+        assert est.population == pytest.approx(20_000, rel=0.1)
+
+    def test_lower_bound_under_heterogeneity(self, rng):
+        """With heterogeneity Chao stays (well) below the truth but
+        above the observed count."""
+        N, sources = make_heterogeneous_sources(rng, 20_000, sigma=1.5)
+        table = tabulate_histories(sources)
+        est = chao_estimate(table)
+        assert table.num_observed < est.population < 20_000 * 1.05

@@ -1,0 +1,132 @@
+"""Classical closed-population models (M0, Mt, Mb, Mh)."""
+
+import numpy as np
+import pytest
+
+from repro.core.closed_models import (
+    fit_all_closed_models,
+    fit_m0,
+    fit_mb,
+    fit_mh_jackknife,
+    fit_mt,
+)
+from repro.core.design import main_effect_terms
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.core.loglinear import LoglinearModel
+from tests.conftest import make_heterogeneous_sources, make_independent_sources
+
+
+@pytest.fixture(scope="module")
+def equal_capture_table():
+    rng = np.random.default_rng(8)
+    N, sources = make_independent_sources(rng, 20_000, [0.3] * 4)
+    return N, tabulate_histories(sources)
+
+
+@pytest.fixture(scope="module")
+def unequal_capture_table():
+    rng = np.random.default_rng(9)
+    N, sources = make_independent_sources(rng, 20_000, [0.5, 0.3, 0.15, 0.1])
+    return N, tabulate_histories(sources)
+
+
+class TestM0:
+    def test_recovers_equal_capture(self, equal_capture_table):
+        N, table = equal_capture_table
+        est = fit_m0(table)
+        assert est.population == pytest.approx(N, rel=0.05)
+        assert est.parameters["p"] == pytest.approx(0.3, abs=0.03)
+
+    def test_population_at_least_observed(self, unequal_capture_table):
+        _, table = unequal_capture_table
+        assert fit_m0(table).population >= table.num_observed
+
+    def test_empty_rejected(self):
+        table = ContingencyTable(2, np.array([0, 0, 0, 0]))
+        with pytest.raises(ValueError):
+            fit_m0(table)
+
+
+class TestMt:
+    def test_recovers_unequal_capture(self, unequal_capture_table):
+        N, table = unequal_capture_table
+        est = fit_mt(table)
+        assert est.population == pytest.approx(N, rel=0.05)
+        probs = [est.parameters[f"p{j}"] for j in (1, 2, 3, 4)]
+        assert probs[0] > probs[-1]
+
+    def test_matches_independence_llm(self, unequal_capture_table):
+        """Mt and the independence log-linear model are the same model."""
+        _, table = unequal_capture_table
+        mt = fit_mt(table)
+        llm = (
+            LoglinearModel(table.num_sources,
+                           main_effect_terms(table.num_sources))
+            .fit(table)
+            .estimate()
+        )
+        assert mt.population == pytest.approx(llm.population, rel=0.01)
+
+    def test_m0_beats_mt_only_when_equal(self, equal_capture_table,
+                                         unequal_capture_table):
+        """AIC prefers M0 on equal-capture data and Mt on unequal."""
+        _, equal = equal_capture_table
+        _, unequal = unequal_capture_table
+        assert fit_m0(equal).aic < fit_mt(equal).aic + 4
+        assert fit_mt(unequal).aic < fit_m0(unequal).aic
+
+
+class TestMb:
+    def test_runs_and_bounds(self, unequal_capture_table):
+        _, table = unequal_capture_table
+        est = fit_mb(table)
+        assert est.population >= table.num_observed
+        assert 0 <= est.parameters["c"] <= 1
+
+    def test_no_behavioural_response_in_independent_data(
+        self, equal_capture_table
+    ):
+        """With truly independent occasions, recapture probability ~
+        first-capture probability."""
+        N, table = equal_capture_table
+        est = fit_mb(table)
+        assert est.population == pytest.approx(N, rel=0.15)
+
+
+class TestMhJackknife:
+    def test_heterogeneity_lifts_estimate(self, rng):
+        N, sources = make_heterogeneous_sources(
+            rng, 20_000, num_sources=6, sigma=1.2
+        )
+        table = tabulate_histories(sources)
+        mh = fit_mh_jackknife(table)
+        mt = fit_mt(table)
+        # Under heterogeneity Mt undershoots; the jackknife corrects
+        # upward (the whole point of Mh).
+        assert mh.population > mt.population
+        assert mh.population <= N * 1.3
+
+    def test_homogeneous_data_overestimates_mildly(self, equal_capture_table):
+        """With homogeneous capture and few occasions the jackknife is
+        known to sit above the truth, but not wildly."""
+        N, table = equal_capture_table
+        est = fit_mh_jackknife(table)
+        assert table.num_observed < est.population < N * 1.3
+
+    def test_needs_two_sources(self):
+        table = ContingencyTable(1, np.array([0, 5]))
+        with pytest.raises(ValueError):
+            fit_mh_jackknife(table)
+
+
+class TestFamilySweep:
+    def test_all_models_fit(self, unequal_capture_table):
+        _, table = unequal_capture_table
+        results = fit_all_closed_models(table)
+        assert [r.model[:2] for r in results] == ["M0", "Mt", "Mb", "Mh"]
+        for r in results:
+            assert r.population >= table.num_observed
+            # Mb may be degenerate (capture order carries no signal
+            # for simultaneous sources); everyone else is finite.
+            if not r.parameters.get("degenerate"):
+                assert np.isfinite(r.population)

@@ -1,0 +1,113 @@
+"""Log-linear design matrices and hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import (
+    describe_terms,
+    design_matrix,
+    hierarchical_closure,
+    interaction_terms,
+    is_hierarchical,
+    main_effect_terms,
+    pairwise_terms,
+    term_order,
+    validate_terms,
+)
+
+F = frozenset
+
+
+class TestTermSets:
+    def test_main_effects(self):
+        assert main_effect_terms(3) == {F([0]), F([1]), F([2])}
+
+    def test_pairwise(self):
+        assert set(pairwise_terms(3)) == {F([0, 1]), F([0, 2]), F([1, 2])}
+
+    def test_interaction_terms_order(self):
+        assert len(interaction_terms(5, 3)) == 10
+
+    def test_interaction_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            interaction_terms(3, 0)
+
+
+class TestHierarchy:
+    def test_closure_adds_subsets(self):
+        closed = hierarchical_closure([F([0, 1, 2])])
+        assert closed == {
+            F([0]), F([1]), F([2]),
+            F([0, 1]), F([0, 2]), F([1, 2]),
+            F([0, 1, 2]),
+        }
+
+    def test_is_hierarchical(self):
+        assert is_hierarchical(main_effect_terms(4))
+        assert not is_hierarchical([F([0, 1])])  # missing main effects
+
+    def test_closure_rejects_empty_term(self):
+        with pytest.raises(ValueError):
+            hierarchical_closure([F()])
+
+    def test_validate_rejects_unknown_source(self):
+        with pytest.raises(ValueError):
+            validate_terms(2, [F([0]), F([5])])
+
+    def test_validate_rejects_saturated_term(self):
+        # u_{12...t} is fixed at zero by convention.
+        with pytest.raises(ValueError):
+            validate_terms(2, hierarchical_closure([F([0, 1])]))
+
+    def test_validate_rejects_non_hierarchical(self):
+        with pytest.raises(ValueError):
+            validate_terms(3, [F([0]), F([1]), F([0, 2])])
+
+
+class TestDesignMatrix:
+    def test_independence_model_shape(self):
+        X, ordered = design_matrix(3, main_effect_terms(3))
+        assert X.shape == (7, 4)
+        assert ordered == term_order(main_effect_terms(3))
+
+    def test_intercept_column_all_ones(self):
+        X, _ = design_matrix(3, main_effect_terms(3))
+        assert (X[:, 0] == 1).all()
+
+    def test_membership_semantics(self):
+        """Column for term {i} is 1 exactly when bit i of history set."""
+        X, ordered = design_matrix(3, main_effect_terms(3))
+        histories = np.arange(1, 8)
+        for col, term in enumerate(ordered, start=1):
+            (bit,) = term
+            expected = (histories >> bit) & 1
+            assert np.array_equal(X[:, col], expected.astype(float))
+
+    def test_interaction_column(self):
+        terms = hierarchical_closure([F([0, 1])])
+        X, ordered = design_matrix(3, terms)
+        col = 1 + ordered.index(F([0, 1]))
+        histories = np.arange(1, 8)
+        expected = ((histories & 0b11) == 0b11).astype(float)
+        assert np.array_equal(X[:, col], expected)
+
+    def test_include_unobserved_prepends_intercept_row(self):
+        X, _ = design_matrix(2, main_effect_terms(2), include_unobserved=True)
+        assert X.shape == (4, 3)
+        assert list(X[0]) == [1.0, 0.0, 0.0]
+
+    def test_full_rank_for_hierarchical_models(self):
+        terms = hierarchical_closure([F([0, 1]), F([1, 2]), F([2, 3])])
+        X, _ = design_matrix(4, terms)
+        assert np.linalg.matrix_rank(X) == X.shape[1]
+
+
+class TestDescribe:
+    def test_describe_with_names(self):
+        text = describe_terms(
+            hierarchical_closure([F([0, 1])]), ("ping", "web")
+        )
+        assert "[ping]" in text and "[ping*web]" in text
+
+    def test_describe_empty(self):
+        assert describe_terms([]) == "[intercept only]"

@@ -1,0 +1,81 @@
+"""Model-fit diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import hierarchical_closure, main_effect_terms
+from repro.core.diagnostics import diagnose_fit
+from repro.core.histories import tabulate_histories
+from repro.core.loglinear import LoglinearModel
+from repro.ipspace.ipset import IPSet
+from tests.conftest import make_independent_sources
+
+F = frozenset
+
+
+@pytest.fixture(scope="module")
+def dependent_table():
+    rng = np.random.default_rng(4)
+    N = 30_000
+    pop = np.sort(rng.choice(2**30, N, replace=False)).astype(np.uint32)
+    cluster = rng.random(N) < 0.5
+    prob0 = np.where(cluster, 0.5, 0.1)
+    prob1 = np.where(cluster, 0.45, 0.12)
+    sources = {
+        "a": IPSet.from_sorted_unique(pop[rng.random(N) < prob0]),
+        "b": IPSet.from_sorted_unique(pop[rng.random(N) < prob1]),
+        "c": IPSet.from_sorted_unique(pop[rng.random(N) < 0.3]),
+    }
+    return tabulate_histories(sources)
+
+
+class TestDiagnostics:
+    def test_good_model_fits_well(self, rng):
+        _, sources = make_independent_sources(rng, 30_000, [0.3, 0.35, 0.3])
+        table = tabulate_histories(sources)
+        fit = LoglinearModel(3, main_effect_terms(3)).fit(table)
+        diag = diagnose_fit(fit)
+        # Independence is the true model: chi2 near its dof.
+        assert diag.dof == 7 - 4
+        assert diag.pearson_chi2 < 5 * diag.dof + 10
+
+    def test_misspecified_model_flagged(self, dependent_table):
+        """Fitting independence to dependent data produces a huge
+        Pearson statistic; adding the needed term repairs it."""
+        bad = LoglinearModel(3, main_effect_terms(3)).fit(dependent_table)
+        good = LoglinearModel(
+            3, hierarchical_closure([F([0, 1]), F([2])])
+        ).fit(dependent_table)
+        bad_diag = diagnose_fit(bad)
+        good_diag = diagnose_fit(good)
+        assert bad_diag.pearson_chi2 > 10 * max(good_diag.pearson_chi2, 1.0)
+        assert bad_diag.pearson_pvalue < 1e-6
+
+    def test_worst_cells_point_at_missing_interaction(self, dependent_table):
+        fit = LoglinearModel(3, main_effect_terms(3)).fit(dependent_table)
+        worst = diagnose_fit(fit).worst_cells(2)
+        # The a-b overlap cells (histories containing bits 0 and 1)
+        # should dominate the misfit.
+        assert any((r.history & 0b11) == 0b11 for r in worst)
+
+    def test_residuals_cover_all_cells(self, dependent_table):
+        fit = LoglinearModel(3, main_effect_terms(3)).fit(dependent_table)
+        diag = diagnose_fit(fit)
+        assert len(diag.residuals) == 7
+        assert {r.history for r in diag.residuals} == set(range(1, 8))
+
+    def test_history_string(self, dependent_table):
+        fit = LoglinearModel(3, main_effect_terms(3)).fit(dependent_table)
+        diag = diagnose_fit(fit)
+        cell = next(r for r in diag.residuals if r.history == 0b101)
+        assert cell.history_string(3) == "101"
+
+    def test_saturated_like_model_zero_dof(self, rng):
+        _, sources = make_independent_sources(rng, 5_000, [0.4, 0.4])
+        table = tabulate_histories(sources)
+        # Two sources: main effects + intercept = 3 params, 3 cells.
+        fit = LoglinearModel(2, main_effect_terms(2)).fit(table)
+        diag = diagnose_fit(fit)
+        assert diag.dof == 0
+        assert np.isnan(diag.pearson_pvalue)
+        assert diag.pearson_chi2 == pytest.approx(0.0, abs=1e-4)

@@ -1,0 +1,72 @@
+"""The CaptureRecapture facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import CaptureRecapture, EstimatorOptions
+from repro.ipspace.ipset import IPSet
+from tests.conftest import make_independent_sources
+
+
+@pytest.fixture(scope="module")
+def facade():
+    rng = np.random.default_rng(31337)
+    N, sources = make_independent_sources(rng, 30_000, [0.3, 0.35, 0.25])
+    return N, CaptureRecapture(sources)
+
+
+class TestFacade:
+    def test_observed_union(self, facade):
+        _, cr = facade
+        union = cr.observed_union()
+        assert len(union) == cr.num_observed
+        assert cr.num_observed == cr.table().num_observed
+
+    def test_estimate_recovers_population(self, facade):
+        N, cr = facade
+        assert cr.estimate().population == pytest.approx(N, rel=0.05)
+
+    def test_profile_interval_covers(self, facade):
+        N, cr = facade
+        iv = cr.profile_interval(alpha=0.01)
+        assert iv.population_low <= N <= iv.population_high
+
+    def test_selection_cached(self, facade):
+        _, cr = facade
+        assert cr.selection() is cr.selection()
+
+    def test_two_sources_minimum(self):
+        with pytest.raises(ValueError):
+            CaptureRecapture({"only": IPSet([1, 2])})
+
+    def test_with_options_returns_new(self, facade):
+        _, cr = facade
+        other = cr.with_options(criterion="aic")
+        assert other is not cr
+        assert other.options.criterion == "aic"
+        assert cr.options.criterion == "bic"
+
+    def test_auto_distribution(self):
+        opts = EstimatorOptions()
+        assert opts.resolved_distribution() == "poisson"
+        assert EstimatorOptions(limit=100.0).resolved_distribution() == (
+            "truncated"
+        )
+        assert EstimatorOptions(
+            distribution="poisson", limit=100.0
+        ).resolved_distribution() == "poisson"
+
+    def test_subnets24_projection(self):
+        rng = np.random.default_rng(5)
+        N, sources = make_independent_sources(rng, 20_000, [0.4, 0.4])
+        cr = CaptureRecapture(sources, EstimatorOptions(limit=1e9))
+        sub = cr.subnets24()
+        assert sub.options.limit == pytest.approx(1e9 / 256)
+        for name in sources:
+            assert len(sub.sources[name]) <= len(sources[name])
+
+    def test_stratified_total_close_to_plain(self, facade):
+        N, cr = facade
+        labeler = lambda a: (np.asarray(a) % 2).astype(np.int64)
+        strat = cr.estimate_stratified(labeler, min_observed=10)
+        assert strat.population == pytest.approx(N, rel=0.07)

@@ -1,0 +1,43 @@
+"""Diagnostics and bootstrap on the CaptureRecapture facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import CaptureRecapture, EstimatorOptions
+from tests.conftest import make_independent_sources
+
+
+@pytest.fixture(scope="module")
+def facade():
+    rng = np.random.default_rng(606)
+    N, sources = make_independent_sources(rng, 15_000, [0.3, 0.35, 0.3])
+    return N, CaptureRecapture(sources)
+
+
+class TestFacadeDiagnostics:
+    def test_diagnostics_available(self, facade):
+        _, cr = facade
+        diag = cr.diagnostics()
+        assert diag.dof >= 0
+        assert len(diag.residuals) == 2**3 - 1
+
+    def test_well_specified_fit(self, facade):
+        _, cr = facade
+        diag = cr.diagnostics()
+        # Independence holds by construction: modest chi-square.
+        assert diag.pearson_chi2 < 10 * max(diag.dof, 1)
+
+
+class TestFacadeBootstrap:
+    def test_bootstrap_interval(self, facade):
+        N, cr = facade
+        boot = cr.bootstrap(num_replicates=60, seed=1)
+        lo, hi = boot.interval
+        assert lo < boot.point < hi
+        assert abs(boot.point - N) < 5 * boot.standard_error
+
+    def test_bootstrap_respects_options(self, facade):
+        _, cr = facade
+        limited = cr.with_options(limit=1e7)
+        boot = limited.bootstrap(num_replicates=20, seed=1)
+        assert np.isfinite(boot.point)

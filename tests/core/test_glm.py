@@ -1,0 +1,92 @@
+"""Poisson GLM (IRLS) numerics."""
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.core.glm import (
+    GlmError,
+    fit_poisson,
+    poisson_deviance,
+    poisson_loglik,
+)
+
+
+class TestLikelihood:
+    def test_loglik_matches_formula(self):
+        y = np.array([0.0, 3.0, 7.0])
+        mu = np.array([1.0, 2.0, 5.0])
+        expected = np.sum(y * np.log(mu) - mu - gammaln(y + 1))
+        assert poisson_loglik(y, mu) == pytest.approx(expected)
+
+    def test_deviance_zero_at_saturation(self):
+        y = np.array([1.0, 4.0, 9.0])
+        assert poisson_deviance(y, y) == pytest.approx(0.0, abs=1e-10)
+
+    def test_deviance_positive_otherwise(self):
+        y = np.array([1.0, 4.0, 9.0])
+        assert poisson_deviance(y, y + 1) > 0
+
+
+class TestFitting:
+    def test_intercept_only_fits_mean(self):
+        y = np.array([3.0, 5.0, 7.0, 9.0])
+        X = np.ones((4, 1))
+        fit = fit_poisson(X, y)
+        assert np.exp(fit.intercept) == pytest.approx(y.mean(), rel=1e-6)
+        assert fit.converged
+
+    def test_recovers_known_coefficients(self, rng):
+        X = np.column_stack([np.ones(4000), rng.normal(size=4000)])
+        beta_true = np.array([1.0, 0.5])
+        y = rng.poisson(np.exp(X @ beta_true))
+        fit = fit_poisson(X, y.astype(float))
+        assert np.allclose(fit.coef, beta_true, atol=0.05)
+
+    def test_zero_counts_handled(self):
+        X = np.column_stack([np.ones(3), [0.0, 1.0, 2.0]])
+        y = np.array([0.0, 0.0, 5.0])
+        fit = fit_poisson(X, y)
+        assert np.isfinite(fit.loglik)
+
+    def test_all_zero_counts(self):
+        fit = fit_poisson(np.ones((3, 1)), np.zeros(3))
+        assert np.exp(fit.intercept) < 1e-3
+
+    def test_collinear_design_does_not_crash(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0), np.arange(5.0)])
+        y = np.array([1.0, 2.0, 3.0, 5.0, 8.0])
+        fit = fit_poisson(X, y)
+        assert np.isfinite(fit.loglik)
+
+    def test_fitted_matches_observed_margins(self, rng):
+        """For a log-linear model the fitted sums match sufficient stats."""
+        X = np.column_stack(
+            [np.ones(8), rng.integers(0, 2, 8), rng.integers(0, 2, 8)]
+        ).astype(float)
+        y = rng.poisson(5.0, 8).astype(float) + 1
+        fit = fit_poisson(X, y)
+        # ML for exponential family: X' y = X' mu.
+        assert np.allclose(X.T @ y, X.T @ fit.fitted, rtol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GlmError):
+            fit_poisson(np.ones((3, 1)), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GlmError):
+            fit_poisson(np.ones((0, 1)), np.zeros(0))
+
+    def test_deviance_decreases_with_more_params(self, rng):
+        X_small = np.ones((20, 1))
+        X_big = np.column_stack([np.ones(20), rng.normal(size=20)])
+        y = rng.poisson(4.0, 20).astype(float)
+        assert (
+            fit_poisson(X_big, y).deviance <= fit_poisson(X_small, y).deviance + 1e-9
+        )
+
+    def test_large_counts_stable(self):
+        X = np.ones((4, 1))
+        y = np.array([1e8, 1.1e8, 0.9e8, 1.05e8])
+        fit = fit_poisson(X, y)
+        assert np.exp(fit.intercept) == pytest.approx(y.mean(), rel=1e-4)

@@ -1,0 +1,169 @@
+"""Capture-history tabulation and contingency tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.histories import (
+    ContingencyTable,
+    history_masks,
+    tabulate_histories,
+    tabulate_within_universe,
+)
+from repro.ipspace.ipset import IPSet
+
+
+def small_table():
+    """Three sources with known overlaps."""
+    s1 = IPSet([1, 2, 3, 4])
+    s2 = IPSet([3, 4, 5])
+    s3 = IPSet([4, 5, 6])
+    return tabulate_histories({"a": s1, "b": s2, "c": s3})
+
+
+class TestTabulate:
+    def test_counts_by_history(self):
+        table = small_table()
+        # individual 1,2 -> only source a (mask 0b001=1)
+        assert table.counts[0b001] == 2
+        # 3 -> a+b (0b011)
+        assert table.counts[0b011] == 1
+        # 4 -> all (0b111)
+        assert table.counts[0b111] == 1
+        # 5 -> b+c (0b110)
+        assert table.counts[0b110] == 1
+        # 6 -> c only (0b100)
+        assert table.counts[0b100] == 1
+        assert table.counts[0] == 0
+
+    def test_num_observed_is_union(self):
+        assert small_table().num_observed == 6
+
+    def test_source_names_kept(self):
+        assert small_table().source_names == ("a", "b", "c")
+
+    def test_sequence_input(self):
+        table = tabulate_histories([IPSet([1]), IPSet([1, 2])])
+        assert table.num_observed == 2 and table.source_names == ()
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            tabulate_histories({})
+
+    def test_source_total(self):
+        table = small_table()
+        assert table.source_total(0) == 4
+        assert table.source_total(1) == 3
+        assert table.source_total(2) == 3
+
+    def test_overlap(self):
+        table = small_table()
+        assert table.overlap(0, 1) == 2  # {3, 4}
+        assert table.overlap(0, 2) == 1  # {4}
+        assert table.overlap(1, 2) == 2  # {4, 5}
+
+    def test_index_bounds_checked(self):
+        with pytest.raises(IndexError):
+            small_table().source_total(3)
+
+
+class TestContingencyValidation:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(2, np.array([0, 1, 2]))
+
+    def test_rejects_nonzero_unobserved(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(1, np.array([5, 1]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(1, np.array([0, -1]))
+
+    def test_rejects_name_mismatch(self):
+        with pytest.raises(ValueError):
+            ContingencyTable(1, np.array([0, 1]), source_names=("a", "b"))
+
+
+class TestFrequencies:
+    def test_capture_frequencies(self):
+        freqs = small_table().capture_frequencies()
+        # 3 singletons (1,2,6), 2 doubletons (3,5), 1 tripleton (4).
+        assert list(freqs) == [0, 3, 2, 1]
+
+    def test_frequencies_sum_to_observed(self):
+        table = small_table()
+        assert table.capture_frequencies().sum() == table.num_observed
+
+    def test_positive_minimum(self):
+        assert small_table().positive_minimum() == 1
+        empty = ContingencyTable(2, np.array([0, 0, 0, 0]))
+        assert empty.positive_minimum() == 0
+
+
+class TestCollapse:
+    def test_collapse_to_pair(self):
+        reduced = small_table().collapse([0, 1])
+        assert reduced.num_sources == 2
+        # Individual 6 was only in source c -> now unobserved, dropped.
+        assert reduced.num_observed == 5
+        assert reduced.source_names == ("a", "b")
+
+    def test_collapse_reorders(self):
+        reduced = small_table().collapse([2, 0])
+        assert reduced.source_total(0) == 3  # old c
+        assert reduced.source_total(1) == 4  # old a
+
+    def test_collapse_bad_index(self):
+        with pytest.raises(IndexError):
+            small_table().collapse([0, 5])
+
+
+class TestScaled:
+    def test_integer_division(self):
+        table = ContingencyTable(2, np.array([0, 10, 25, 7]))
+        scaled = table.scaled(10)
+        assert list(scaled.counts) == [0, 1, 2, 0]
+
+    def test_divisor_one_is_identity(self):
+        table = small_table()
+        assert np.array_equal(table.scaled(1).counts, table.counts)
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            small_table().scaled(0)
+
+
+class TestHistoryMasks:
+    def test_masks(self):
+        arrays = [
+            np.array([1, 2], dtype=np.uint32),
+            np.array([2, 3], dtype=np.uint32),
+        ]
+        union, masks = history_masks(arrays)
+        assert list(union) == [1, 2, 3]
+        assert list(masks) == [0b01, 0b11, 0b10]
+
+    def test_empty_source_ok(self):
+        union, masks = history_masks(
+            [np.array([], dtype=np.uint32), np.array([7], dtype=np.uint32)]
+        )
+        assert list(union) == [7] and list(masks) == [0b10]
+
+
+class TestWithinUniverse:
+    def test_restriction_and_truth(self):
+        universe = IPSet([1, 2, 3, 4, 5])
+        others = {
+            "x": IPSet([1, 2, 99]),  # 99 outside universe
+            "y": IPSet([2, 3]),
+        }
+        table, unseen = tabulate_within_universe(universe, others)
+        assert table.num_observed == 3  # {1,2,3}
+        assert unseen == 2  # {4,5}
+
+    def test_sequence_variant(self):
+        universe = IPSet([1, 2])
+        table, unseen = tabulate_within_universe(
+            universe, [IPSet([1]), IPSet([3])]
+        )
+        assert table.num_observed == 1 and unseen == 1

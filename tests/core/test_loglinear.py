@@ -1,0 +1,122 @@
+"""Log-linear model fitting and population estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import hierarchical_closure, main_effect_terms
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.core.loglinear import LoglinearModel
+from tests.conftest import make_independent_sources
+
+F = frozenset
+
+
+def two_source_table(n11, n10, n01):
+    counts = np.zeros(4, dtype=np.int64)
+    counts[0b11], counts[0b01], counts[0b10] = n11, n10, n01
+    return ContingencyTable(2, counts)
+
+
+class TestTwoSourceClosedForm:
+    def test_matches_lincoln_petersen(self):
+        """For two independent sources the LLM unseen estimate equals
+        the L-P identity z10*z01/z11 (the classical equivalence)."""
+        table = two_source_table(n11=20, n10=80, n01=60)
+        fit = LoglinearModel(2, main_effect_terms(2)).fit(table)
+        assert fit.unseen_estimate() == pytest.approx(80 * 60 / 20, rel=1e-4)
+
+    def test_population_totals(self):
+        table = two_source_table(20, 80, 60)
+        est = LoglinearModel(2, main_effect_terms(2)).fit(table).estimate()
+        assert est.observed == 160
+        assert est.population == pytest.approx(160 + 240, rel=1e-4)
+
+
+class TestRecovery:
+    def test_independent_sources_recover_population(self, rng):
+        N, sources = make_independent_sources(rng, 40_000, [0.3, 0.35, 0.25])
+        table = tabulate_histories(sources)
+        est = LoglinearModel(3, main_effect_terms(3)).fit(table).estimate()
+        assert est.population == pytest.approx(N, rel=0.05)
+
+    def test_pairwise_model_fixes_induced_dependence(self, rng):
+        """Two clustered sources + one independent: the model with the
+        right interaction term beats independence."""
+        N = 30_000
+        pop = np.sort(rng.choice(2**30, N, replace=False)).astype(np.uint32)
+        cluster = rng.random(N) < 0.5
+        from repro.ipspace.ipset import IPSet
+
+        # Sources 0 and 1 both prefer the cluster; source 2 is uniform.
+        prob0 = np.where(cluster, 0.5, 0.1)
+        prob1 = np.where(cluster, 0.45, 0.12)
+        sources = {
+            "a": IPSet.from_sorted_unique(pop[rng.random(N) < prob0]),
+            "b": IPSet.from_sorted_unique(pop[rng.random(N) < prob1]),
+            "c": IPSet.from_sorted_unique(pop[rng.random(N) < 0.3]),
+        }
+        table = tabulate_histories(sources)
+        indep = LoglinearModel(3, main_effect_terms(3)).fit(table).estimate()
+        pair = (
+            LoglinearModel(3, hierarchical_closure([F([0, 1]), F([2])]))
+            .fit(table)
+            .estimate()
+        )
+        assert abs(pair.population - N) < abs(indep.population - N)
+        assert pair.population == pytest.approx(N, rel=0.1)
+
+
+class TestFitProperties:
+    def test_aic_bic_definitions(self, rng):
+        _, sources = make_independent_sources(rng, 5_000, [0.3, 0.3])
+        table = tabulate_histories(sources)
+        fit = LoglinearModel(2, main_effect_terms(2)).fit(table)
+        assert fit.aic == pytest.approx(2 * fit.num_params - 2 * fit.loglik)
+        assert fit.bic == pytest.approx(
+            np.log(table.num_observed) * fit.num_params - 2 * fit.loglik
+        )
+
+    def test_source_count_mismatch_rejected(self, rng):
+        _, sources = make_independent_sources(rng, 1_000, [0.3, 0.3])
+        table = tabulate_histories(sources)
+        with pytest.raises(ValueError):
+            LoglinearModel(3, main_effect_terms(3)).fit(table)
+
+    def test_unknown_distribution_rejected(self, rng):
+        _, sources = make_independent_sources(rng, 1_000, [0.3, 0.3])
+        table = tabulate_histories(sources)
+        with pytest.raises(ValueError):
+            LoglinearModel(2, main_effect_terms(2)).fit(table, "gaussian")
+
+    def test_truncated_requires_limit(self, rng):
+        _, sources = make_independent_sources(rng, 1_000, [0.3, 0.3])
+        table = tabulate_histories(sources)
+        with pytest.raises(ValueError):
+            LoglinearModel(2, main_effect_terms(2)).fit(table, "truncated")
+
+
+class TestTruncatedEstimates:
+    def test_truncation_caps_population(self, rng):
+        """The truncated estimate never exceeds the space limit, even
+        when the Poisson estimate explodes (tiny overlap)."""
+        table = two_source_table(n11=2, n10=300, n01=250)
+        model = LoglinearModel(2, main_effect_terms(2))
+        poisson = model.fit(table).estimate()
+        limit = 1000.0
+        trunc = model.fit(table, "truncated", limit=limit).estimate()
+        assert poisson.population > limit  # the pathology
+        assert trunc.population <= limit + 1
+
+    def test_truncation_negligible_for_large_limit(self, rng):
+        N, sources = make_independent_sources(rng, 10_000, [0.3, 0.3, 0.3])
+        table = tabulate_histories(sources)
+        model = LoglinearModel(3, main_effect_terms(3))
+        plain = model.fit(table).estimate()
+        trunc = model.fit(table, "truncated", limit=1e9).estimate()
+        assert trunc.population == pytest.approx(plain.population, rel=1e-3)
+
+    def test_describe_mentions_distribution(self, rng):
+        _, sources = make_independent_sources(rng, 1_000, [0.4, 0.4])
+        table = tabulate_histories(sources)
+        est = LoglinearModel(2, main_effect_terms(2)).fit(table).estimate()
+        assert "poisson" in est.describe()

@@ -1,0 +1,63 @@
+"""Profile-likelihood intervals."""
+
+import pytest
+
+from repro.core.design import main_effect_terms
+from repro.core.histories import tabulate_histories
+from repro.core.loglinear import LoglinearModel
+from repro.core.profile_ci import profile_likelihood_interval
+from tests.conftest import make_independent_sources
+
+
+@pytest.fixture(scope="module")
+def independent_setup():
+    import numpy as np
+
+    rng = np.random.default_rng(99)
+    N, sources = make_independent_sources(rng, 20_000, [0.3, 0.35, 0.25])
+    table = tabulate_histories(sources)
+    return N, table
+
+
+class TestProfileInterval:
+    def test_mode_near_point_estimate(self, independent_setup):
+        _, table = independent_setup
+        terms = main_effect_terms(3)
+        point = LoglinearModel(3, terms).fit(table).unseen_estimate()
+        interval = profile_likelihood_interval(table, terms, alpha=0.05)
+        assert interval.unseen_mode == pytest.approx(point, rel=0.02)
+
+    def test_interval_contains_truth(self, independent_setup):
+        N, table = independent_setup
+        interval = profile_likelihood_interval(
+            table, main_effect_terms(3), alpha=0.05
+        )
+        assert interval.contains(N)
+
+    def test_interval_ordering(self, independent_setup):
+        _, table = independent_setup
+        iv = profile_likelihood_interval(table, main_effect_terms(3), alpha=0.05)
+        assert iv.population_low <= iv.population_high
+        assert iv.unseen_low <= iv.unseen_mode <= iv.unseen_high
+        assert iv.population_low >= table.num_observed
+
+    def test_smaller_alpha_widens(self, independent_setup):
+        _, table = independent_setup
+        terms = main_effect_terms(3)
+        narrow = profile_likelihood_interval(table, terms, alpha=0.1)
+        wide = profile_likelihood_interval(table, terms, alpha=1e-7)
+        assert wide.population_low <= narrow.population_low
+        assert wide.population_high >= narrow.population_high
+        assert (wide.population_high - wide.population_low) > (
+            narrow.population_high - narrow.population_low
+        )
+
+    def test_paper_alpha_is_default(self, independent_setup):
+        _, table = independent_setup
+        iv = profile_likelihood_interval(table, main_effect_terms(3))
+        assert iv.alpha == 1e-7
+
+    def test_bad_alpha_rejected(self, independent_setup):
+        _, table = independent_setup
+        with pytest.raises(ValueError):
+            profile_likelihood_interval(table, main_effect_terms(3), alpha=0.0)

@@ -1,0 +1,98 @@
+"""Property-based tests for the capture-recapture core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chao import chao_estimate
+from repro.core.design import main_effect_terms
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.core.lincoln_petersen import chapman_estimate
+from repro.core.loglinear import LoglinearModel
+from repro.core.selection import adaptive_divisor
+from repro.ipspace.ipset import IPSet
+
+
+@st.composite
+def contingency_tables(draw, max_sources=4, max_count=500):
+    t = draw(st.integers(2, max_sources))
+    counts = [0] + [
+        draw(st.integers(0, max_count)) for _ in range(2**t - 1)
+    ]
+    # Every source must observe someone, and at least two cells must be
+    # positive, or the model is degenerate by construction.
+    for bit in range(t):
+        counts[1 << bit] += 1
+    return ContingencyTable(t, np.array(counts, dtype=np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(contingency_tables())
+def test_llm_estimate_is_finite_and_additive(table):
+    est = LoglinearModel(
+        table.num_sources, main_effect_terms(table.num_sources)
+    ).fit(table).estimate()
+    assert np.isfinite(est.population)
+    assert est.unseen >= 0
+    assert est.population == est.observed + est.unseen
+
+
+@settings(max_examples=40, deadline=None)
+@given(contingency_tables())
+def test_chao_never_below_observed(table):
+    est = chao_estimate(table)
+    assert est.population >= table.num_observed
+
+
+@settings(max_examples=40, deadline=None)
+@given(contingency_tables())
+def test_adaptive_divisor_below_min_positive(table):
+    d = adaptive_divisor(table)
+    floor = table.positive_minimum()
+    assert 1 <= d <= 1000
+    if floor > 1:
+        assert d < floor or d == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(contingency_tables())
+def test_capture_frequencies_conserve_mass(table):
+    freqs = table.capture_frequencies()
+    assert freqs.sum() == table.num_observed
+    assert freqs[0] == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 300), st.integers(1, 300), st.integers(0, 100)
+)
+def test_chapman_bounds(extra_a, extra_b, overlap):
+    first = extra_a + overlap
+    second = extra_b + overlap
+    est = chapman_estimate(first, second, overlap)
+    union = first + second - overlap
+    assert est.population >= union - 1e-9
+    assert np.isfinite(est.variance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.integers(0, 2**20), min_size=30, max_size=150, unique=True
+    ),
+    st.integers(0, 2**32 - 1),
+)
+def test_tabulation_invariant_under_source_content(universe, seed):
+    """Tabulating any split of a population conserves the union."""
+    rng = np.random.default_rng(seed)
+    pop = np.array(sorted(universe), dtype=np.uint32)
+    sources = {}
+    covered = np.zeros(len(pop), dtype=bool)
+    for i in range(3):
+        mask = rng.random(len(pop)) < 0.5
+        covered |= mask
+        sources[f"s{i}"] = IPSet.from_sorted_unique(pop[mask])
+    table = tabulate_histories(sources)
+    assert table.num_observed == int(covered.sum())
+    for i in range(3):
+        assert table.source_total(i) == len(sources[f"s{i}"])

@@ -1,0 +1,146 @@
+"""Model selection: ICs, divisor heuristics, stepwise search."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import main_effect_terms
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.core.selection import (
+    IC_MARGIN,
+    adaptive_divisor,
+    information_criterion,
+    resolve_divisor,
+    select_model,
+)
+from tests.conftest import make_heterogeneous_sources, make_independent_sources
+
+F = frozenset
+
+
+class TestInformationCriterion:
+    def test_aic(self):
+        assert information_criterion(-100.0, 5, 1000, "aic") == 210.0
+
+    def test_bic(self):
+        expected = np.log(1000) * 5 + 200.0
+        assert information_criterion(-100.0, 5, 1000, "bic") == pytest.approx(
+            expected
+        )
+
+    def test_bic_penalises_more_for_big_samples(self):
+        aic = information_criterion(-100.0, 5, 10**6, "aic")
+        bic = information_criterion(-100.0, 5, 10**6, "bic")
+        assert bic > aic
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            information_criterion(0.0, 1, 10, "dic")
+
+
+class TestDivisors:
+    def make_table(self, min_count):
+        counts = np.zeros(4, dtype=np.int64)
+        counts[1], counts[2], counts[3] = min_count, min_count * 3, min_count * 7
+        return ContingencyTable(2, counts)
+
+    def test_adaptive_halves_below_minimum(self):
+        # min positive count 300: 1000 -> 500 -> 250 < 300.
+        assert adaptive_divisor(self.make_table(300)) == 250
+
+    def test_adaptive_keeps_maximum_when_counts_huge(self):
+        assert adaptive_divisor(self.make_table(5000)) == 1000
+
+    def test_adaptive_floors_at_one(self):
+        assert adaptive_divisor(self.make_table(1)) == 1
+
+    def test_adaptive_with_custom_maximum(self):
+        assert adaptive_divisor(self.make_table(300), maximum=100) == 100
+
+    def test_resolve_fixed(self):
+        assert resolve_divisor(self.make_table(5), 10) == 10
+
+    def test_resolve_adaptive_string(self):
+        assert resolve_divisor(self.make_table(300), "adaptive1000") == 250
+        assert resolve_divisor(self.make_table(300), "adaptive") == 250
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_divisor(self.make_table(5), "magic")
+        with pytest.raises(ValueError):
+            resolve_divisor(self.make_table(5), 0)
+
+
+class TestStepwiseSearch:
+    def test_independent_data_selects_independence(self, rng):
+        _, sources = make_independent_sources(
+            rng, 50_000, [0.3, 0.35, 0.3, 0.25]
+        )
+        table = tabulate_histories(sources)
+        selection = select_model(table, criterion="bic", divisor=1)
+        assert selection.fit.terms == main_effect_terms(4)
+
+    def test_dependent_data_selects_interactions(self, rng):
+        _, sources = make_heterogeneous_sources(rng, 50_000, sigma=1.2)
+        table = tabulate_histories(sources)
+        selection = select_model(table, criterion="aic", divisor=1)
+        assert any(len(t) == 2 for t in selection.fit.terms)
+
+    def test_path_starts_at_independence(self, rng):
+        _, sources = make_heterogeneous_sources(rng, 10_000)
+        selection = select_model(tabulate_histories(sources), divisor=1)
+        assert selection.path[0].terms == main_effect_terms(4)
+
+    def test_path_ic_decreasing(self, rng):
+        _, sources = make_heterogeneous_sources(rng, 10_000)
+        selection = select_model(tabulate_histories(sources), divisor=1)
+        ics = [step.ic for step in selection.path]
+        assert all(b < a for a, b in zip(ics, ics[1:]))
+
+    def test_parsimony_rule_within_margin(self, rng):
+        """The chosen model's IC is within the margin of the best."""
+        _, sources = make_heterogeneous_sources(rng, 20_000)
+        selection = select_model(tabulate_histories(sources), divisor=1)
+        best = min(step.ic for step in selection.path)
+        assert selection.selected_ic <= best + IC_MARGIN
+
+    def test_larger_divisor_selects_simpler_model(self, rng):
+        """Dividing counts flattens likelihood differences, so the
+        penalty dominates and fewer terms survive — the paper's
+        overfitting mitigation."""
+        _, sources = make_heterogeneous_sources(rng, 60_000, sigma=0.8)
+        table = tabulate_histories(sources)
+        rich = select_model(table, criterion="aic", divisor=1)
+        lean = select_model(table, criterion="aic", divisor=200)
+        assert len(lean.fit.terms) <= len(rich.fit.terms)
+
+    def test_three_way_terms_when_allowed(self, rng):
+        _, sources = make_heterogeneous_sources(
+            rng, 80_000, num_sources=4, sigma=1.5
+        )
+        table = tabulate_histories(sources)
+        selection = select_model(table, criterion="aic", divisor=1, max_order=3)
+        # With max_order=3 the search may add triples; at minimum it
+        # must still return a valid hierarchical model.
+        from repro.core.design import is_hierarchical
+
+        assert is_hierarchical(selection.fit.terms)
+
+    def test_single_source_rejected(self):
+        table = ContingencyTable(1, np.array([0, 10]))
+        with pytest.raises(ValueError):
+            select_model(table)
+
+    def test_degenerate_tiny_table_falls_back(self):
+        counts = np.zeros(4, dtype=np.int64)
+        counts[1], counts[2], counts[3] = 1, 1, 1
+        table = ContingencyTable(2, counts)
+        selection = select_model(table, divisor=1000)
+        # Divisor 1000 would zero everything; fallback must kick in.
+        assert selection.divisor == 1
+        assert np.isfinite(selection.fit.estimate().population)
+
+    def test_truncated_final_fit(self, rng):
+        _, sources = make_independent_sources(rng, 5_000, [0.3, 0.3, 0.3])
+        table = tabulate_histories(sources)
+        selection = select_model(table, distribution="truncated", limit=1e8)
+        assert selection.fit.distribution == "truncated"

@@ -1,0 +1,104 @@
+"""Stratified estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.stratified import split_sources_by_label, stratified_estimate
+from repro.ipspace.ipset import IPSet
+
+
+def labeler_high_bit(addrs: np.ndarray) -> np.ndarray:
+    """Two strata: addresses below/above 2^29."""
+    return (np.asarray(addrs) >= 2**29).astype(np.int64)
+
+
+def make_two_strata_sources(rng, n_low, n_high, probs):
+    low = np.sort(rng.choice(2**29, n_low, replace=False)).astype(np.uint32)
+    high = (
+        np.sort(rng.choice(2**29, n_high, replace=False)).astype(np.uint32)
+        + np.uint32(2**29)
+    )
+    pop = np.concatenate([low, high])
+    sources = {}
+    for i, p in enumerate(probs):
+        mask = rng.random(len(pop)) < p
+        sources[f"S{i}"] = IPSet.from_sorted_unique(np.sort(pop[mask]))
+    return len(pop), sources
+
+
+class TestSplit:
+    def test_split_covers_all_sources(self, rng):
+        _, sources = make_two_strata_sources(rng, 500, 500, [0.5, 0.5])
+        split = split_sources_by_label(sources, labeler_high_bit)
+        assert set(split) == {0, 1}
+        for label in (0, 1):
+            assert set(split[label]) == set(sources)
+
+    def test_split_partitions_each_source(self, rng):
+        _, sources = make_two_strata_sources(rng, 500, 500, [0.5, 0.5])
+        split = split_sources_by_label(sources, labeler_high_bit)
+        for name, original in sources.items():
+            rebuilt = split[0][name] | split[1][name]
+            assert rebuilt == original
+
+    def test_split_label_correct(self, rng):
+        _, sources = make_two_strata_sources(rng, 300, 300, [0.6])
+        split = split_sources_by_label(sources, labeler_high_bit)
+        assert all(a < 2**29 for a in split[0]["S0"])
+        assert all(a >= 2**29 for a in split[1]["S0"])
+
+    def test_misaligned_labeler_rejected(self, rng):
+        _, sources = make_two_strata_sources(rng, 50, 50, [0.9])
+        with pytest.raises(ValueError):
+            split_sources_by_label(sources, lambda a: np.zeros(3))
+
+
+class TestStratifiedEstimate:
+    def test_sums_strata(self, rng):
+        N, sources = make_two_strata_sources(
+            rng, 20_000, 20_000, [0.3, 0.35, 0.3]
+        )
+        result = stratified_estimate(sources, labeler_high_bit, min_observed=10)
+        assert result.population == pytest.approx(N, rel=0.07)
+        assert set(result.strata) == {0, 1}
+        assert result.observed <= result.population
+
+    def test_heterogeneous_strata_beat_pooled(self, rng):
+        """Strata with very different capture rates: stratified
+        estimation with exact models should be near truth."""
+        N, sources = make_two_strata_sources(
+            rng, 30_000, 10_000, [0.5, 0.15, 0.3]
+        )
+        result = stratified_estimate(sources, labeler_high_bit, min_observed=10)
+        assert result.population == pytest.approx(N, rel=0.12)
+
+    def test_small_strata_excluded(self, rng):
+        N, sources = make_two_strata_sources(rng, 5_000, 30, [0.5, 0.5])
+        result = stratified_estimate(
+            sources, labeler_high_bit, min_observed=100
+        )
+        assert result.num_excluded == 1
+        excluded = result.strata[1]
+        assert excluded.excluded and excluded.estimate is None
+        # Excluded strata contribute their observed count.
+        assert excluded.population == excluded.observed
+
+    def test_truncation_limits_apply_per_stratum(self, rng):
+        N, sources = make_two_strata_sources(rng, 5_000, 5_000, [0.4, 0.4])
+        limits = {0: 6_000.0, 1: 6_000.0}
+        result = stratified_estimate(
+            sources,
+            labeler_high_bit,
+            min_observed=10,
+            distribution="truncated",
+            limit_per_stratum=lambda label: limits[label],
+        )
+        for stratum in result.strata.values():
+            assert stratum.population <= 6_001
+
+    def test_unseen_is_difference(self, rng):
+        _, sources = make_two_strata_sources(rng, 8_000, 8_000, [0.3, 0.3])
+        result = stratified_estimate(sources, labeler_high_bit, min_observed=10)
+        assert result.unseen == pytest.approx(
+            result.population - result.observed
+        )

@@ -1,0 +1,61 @@
+"""Embedded published data series."""
+
+import numpy as np
+
+from repro.data.historical import (
+    allocated_addresses_series,
+    historical_ping_series,
+    routed_addresses_series,
+)
+from repro.data.itu import internet_users_series
+
+
+class TestItu:
+    def test_endpoints_match_paper(self):
+        years, users = internet_users_series()
+        assert years[0] == 1995 and users[0] == 16
+        assert years[-1] == 2013
+        assert 2700 <= users[-1] <= 2800  # ~2.75 B
+
+    def test_monotone_growth(self):
+        _, users = internet_users_series()
+        assert (np.diff(users) > 0).all()
+
+    def test_linear_regime_after_2007(self):
+        """The paper: growth looks linear from 2006/2007 onwards."""
+        years, users = internet_users_series()
+        mask = years >= 2007
+        slope, intercept = np.polyfit(years[mask], users[mask], 1)
+        fitted = slope * years[mask] + intercept
+        residual = np.abs(fitted - users[mask]) / users[mask]
+        assert residual.max() < 0.05
+
+
+class TestHistorical:
+    def test_ping_series_anchors(self):
+        years, pings = historical_ping_series()
+        # Pryadkin 2003/04: 62 M; Heidemann 2007: 112 M.
+        assert pings[0] == 62
+        assert 100 <= pings[list(years).index(2007.5)] <= 120
+
+    def test_allocation_boom_then_slowdown(self):
+        """Allocations grew fast 2004-2011 then flattened (Fig 10)."""
+        years, alloc = allocated_addresses_series()
+        boom = (alloc[list(years).index(2011.0)] -
+                alloc[list(years).index(2004.0)]) / 7
+        tail = (alloc[-1] - alloc[list(years).index(2012.0)]) / 2.5
+        assert boom > 2.5 * tail
+
+    def test_routed_below_allocated(self):
+        ry, routed = routed_addresses_series()
+        ay, alloc = allocated_addresses_series()
+        alloc_map = dict(zip(ay, alloc))
+        for year, value in zip(ry, routed):
+            assert value < alloc_map[year]
+
+    def test_all_series_monotone(self):
+        for series_fn in (historical_ping_series,
+                          allocated_addresses_series,
+                          routed_addresses_series):
+            _, values = series_fn()
+            assert (np.diff(values) >= 0).all()

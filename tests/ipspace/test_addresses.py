@@ -1,0 +1,119 @@
+"""Address parsing, formatting and octet arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.addresses import (
+    ADDRESS_SPACE_SIZE,
+    AddressError,
+    as_addr_array,
+    block_index,
+    format_addr,
+    format_addrs,
+    last_octet,
+    octet,
+    parse_addr,
+    parse_addrs,
+    subnet24_of,
+)
+
+
+class TestParseAddr:
+    def test_basic(self):
+        assert parse_addr("0.0.0.0") == 0
+        assert parse_addr("0.0.0.1") == 1
+        assert parse_addr("1.0.0.0") == 2**24
+        assert parse_addr("255.255.255.255") == ADDRESS_SPACE_SIZE - 1
+
+    def test_known_value(self):
+        assert parse_addr("192.0.2.1") == (192 << 24) | (2 << 8) | 1
+
+    def test_whitespace_tolerated(self):
+        assert parse_addr("  10.0.0.1 ") == parse_addr("10.0.0.1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "a.b.c.d", "1.2.3.256", "1.2.-3.4", "1..2.3"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_addr(bad)
+
+
+class TestFormatAddr:
+    def test_roundtrip(self):
+        for text in ["0.0.0.0", "10.1.2.3", "172.16.254.1", "255.255.255.255"]:
+            assert format_addr(parse_addr(text)) == text
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_addr(ADDRESS_SPACE_SIZE)
+        with pytest.raises(AddressError):
+            format_addr(-1)
+
+    def test_accepts_numpy_scalar(self):
+        assert format_addr(np.uint32(256)) == "0.0.1.0"
+
+
+class TestBulkApi:
+    def test_parse_addrs(self):
+        arr = parse_addrs(["1.2.3.4", "10.0.0.1"])
+        assert arr.dtype == np.uint32
+        assert list(arr) == [parse_addr("1.2.3.4"), parse_addr("10.0.0.1")]
+
+    def test_format_addrs_roundtrip(self):
+        texts = ["9.9.9.9", "128.0.0.1", "203.0.113.7"]
+        assert format_addrs(parse_addrs(texts)) == texts
+
+    def test_as_addr_array_from_strings(self):
+        arr = as_addr_array(["1.2.3.4"])
+        assert arr.dtype == np.uint32 and arr[0] == parse_addr("1.2.3.4")
+
+    def test_as_addr_array_from_ints(self):
+        arr = as_addr_array([0, 1, 2**32 - 1])
+        assert arr.dtype == np.uint32
+
+    def test_as_addr_array_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            as_addr_array([2**32])
+
+    def test_as_addr_array_passthrough(self):
+        orig = np.array([5, 6], dtype=np.uint32)
+        assert as_addr_array(orig) is orig
+
+
+class TestOctets:
+    def test_subnet24_zeroes_last_octet(self):
+        arr = parse_addrs(["10.1.2.3", "10.1.2.250"])
+        assert format_addrs(subnet24_of(arr)) == ["10.1.2.0", "10.1.2.0"]
+
+    def test_last_octet(self):
+        arr = parse_addrs(["10.1.2.3", "1.1.1.254"])
+        assert list(last_octet(arr)) == [3, 254]
+
+    def test_octet_extraction(self):
+        arr = parse_addrs(["11.22.33.44"])
+        assert [int(octet(arr, i)[0]) for i in range(4)] == [11, 22, 33, 44]
+
+    def test_octet_rejects_bad_index(self):
+        with pytest.raises(AddressError):
+            octet(parse_addrs(["1.2.3.4"]), 4)
+
+
+class TestBlockIndex:
+    def test_block_index_24(self):
+        arr = parse_addrs(["10.1.2.3", "10.1.2.200", "10.1.3.1"])
+        idx = block_index(arr, 24)
+        assert idx[0] == idx[1] != idx[2]
+
+    def test_block_index_zero_maps_all_to_one_block(self):
+        arr = parse_addrs(["1.1.1.1", "200.2.2.2"])
+        assert set(block_index(arr, 0)) == {0}
+
+    def test_block_index_32_is_identity(self):
+        arr = parse_addrs(["1.2.3.4"])
+        assert block_index(arr, 32)[0] == parse_addr("1.2.3.4")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            block_index(parse_addrs(["1.2.3.4"]), 33)

@@ -1,0 +1,89 @@
+"""FIB compression (prefix aggregation)."""
+
+import pytest
+
+from repro.ipspace.aggregation import compress_prefixes, compression_potential
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.prefixes import Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestCompression:
+    def test_sibling_merge(self):
+        report = compress_prefixes([P("10.0.0.0/24"), P("10.0.1.0/24")])
+        assert report.compressed_count == 1
+        assert report.prefixes == (P("10.0.0.0/23"),)
+        assert report.ratio == 2.0
+
+    def test_containment_removal(self):
+        report = compress_prefixes([P("10.0.0.0/8"), P("10.5.0.0/16")])
+        assert report.prefixes == (P("10.0.0.0/8"),)
+        assert report.saved == 1
+
+    def test_non_mergeable_neighbours(self):
+        # Adjacent but not siblings: 10.0.1.0/24 + 10.0.2.0/24.
+        report = compress_prefixes([P("10.0.1.0/24"), P("10.0.2.0/24")])
+        assert report.compressed_count == 2
+
+    def test_cascading_merge(self):
+        quads = [P(f"10.0.{i}.0/24") for i in range(4)]
+        report = compress_prefixes(quads)
+        assert report.prefixes == (P("10.0.0.0/22"),)
+        assert report.ratio == 4.0
+
+    def test_coverage_preserved(self):
+        prefixes = [P("10.0.0.0/24"), P("10.0.1.0/24"), P("192.0.2.0/25"),
+                    P("10.0.0.0/25")]
+        report = compress_prefixes(prefixes)
+        before = IntervalSet.from_prefixes(prefixes)
+        after = IntervalSet.from_prefixes(report.prefixes)
+        assert before == after
+
+    def test_empty(self):
+        report = compress_prefixes([])
+        assert report.compressed_count == 0
+        assert report.ratio == 1.0
+        assert compression_potential([]) == 0.0
+
+    def test_potential(self):
+        assert compression_potential(
+            [P("10.0.0.0/24"), P("10.0.1.0/24")]
+        ) == pytest.approx(0.5)
+
+    def test_routing_table_scale(self, tiny_internet):
+        """A simulated routing table compresses somewhat (adjacent
+        allocations from the same carve-out) but not trivially."""
+        table = tiny_internet.routing.routing_table(2013.5, 2014.5)
+        report = compress_prefixes(table.prefixes())
+        assert 1.0 <= report.ratio < 3.0
+
+
+class TestCompressionProperties:
+    """Property-based checks on random prefix lists."""
+
+    def test_random_lists(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=40, deadline=None)
+        @given(st.lists(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(12, 30)),
+            max_size=12,
+        ))
+        def check(items):
+            prefixes = [Prefix.containing(a, l) for a, l in items]
+            report = compress_prefixes(prefixes)
+            # Coverage preserved exactly.
+            assert IntervalSet.from_prefixes(prefixes) == (
+                IntervalSet.from_prefixes(report.prefixes)
+            )
+            # Never more entries than the input's distinct prefixes.
+            assert report.compressed_count <= len(set(prefixes))
+            # Compressed list is itself incompressible (idempotent).
+            again = compress_prefixes(report.prefixes)
+            assert again.compressed_count == report.compressed_count
+
+        check()

@@ -1,0 +1,190 @@
+"""Vacant/occupied block accounting and the A-matrix dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.blocks import (
+    NUM_LEVELS,
+    allocation_matrix,
+    apply_allocations,
+    count_occupied_blocks,
+    free_ranges,
+    occupied_block_histogram,
+    range_block_histogram,
+    vacant_address_totals,
+    vacant_block_histogram,
+)
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.prefixes import summarize_range
+
+
+def brute_force_vacancy(used, universe):
+    """Reference implementation via explicit CIDR decomposition."""
+    hist = np.zeros(NUM_LEVELS, dtype=np.int64)
+    used = sorted(set(int(u) for u in used))
+    for start, end in universe.intervals():
+        inside = [u for u in used if start <= u < end]
+        cursor = start
+        pieces = []
+        for u in inside:
+            if cursor < u:
+                pieces.append((cursor, u))
+            cursor = u + 1
+        if cursor < end:
+            pieces.append((cursor, end))
+        for s, e in pieces:
+            for block in summarize_range(s, e):
+                hist[block.length] += 1
+    return hist
+
+
+class TestOccupied:
+    def test_count_occupied_blocks(self):
+        addrs = np.array([0, 1, 256, 513], dtype=np.uint32)
+        assert count_occupied_blocks(addrs, 24) == 3
+        assert count_occupied_blocks(addrs, 32) == 4
+        assert count_occupied_blocks(addrs, 0) == 1
+
+    def test_empty(self):
+        assert count_occupied_blocks(np.array([], dtype=np.uint32), 24) == 0
+
+    def test_histogram_monotone(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 2**32, 5000, dtype=np.uint64).astype(np.uint32)
+        hist = occupied_block_histogram(addrs)
+        # Occupied blocks can only grow with prefix length.
+        assert (np.diff(hist) >= 0).all()
+        assert hist[32] == np.unique(addrs).size
+        assert hist[0] == 1
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            count_occupied_blocks(np.array([1], dtype=np.uint32), 33)
+
+
+class TestFreeRanges:
+    def test_no_used(self):
+        uni = IntervalSet([(0, 100)])
+        starts, ends = free_ranges(np.array([], dtype=np.uint32), uni)
+        assert list(starts) == [0] and list(ends) == [100]
+
+    def test_splits_around_used(self):
+        uni = IntervalSet([(0, 10)])
+        starts, ends = free_ranges(np.array([3, 7], dtype=np.uint32), uni)
+        assert list(zip(starts, ends)) == [(0, 3), (4, 7), (8, 10)]
+
+    def test_ignores_out_of_universe(self):
+        uni = IntervalSet([(0, 10)])
+        starts, ends = free_ranges(np.array([50], dtype=np.uint32), uni)
+        assert list(zip(starts, ends)) == [(0, 10)]
+
+    def test_used_at_boundaries(self):
+        uni = IntervalSet([(0, 10)])
+        starts, ends = free_ranges(np.array([0, 9], dtype=np.uint32), uni)
+        assert list(zip(starts, ends)) == [(1, 9)]
+
+    def test_fully_used(self):
+        uni = IntervalSet([(0, 3)])
+        starts, _ = free_ranges(np.array([0, 1, 2], dtype=np.uint32), uni)
+        assert len(starts) == 0
+
+
+class TestVacancyHistogram:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        universe = IntervalSet([(0, 4096), (8192, 8192 + 1024)])
+        used = np.unique(
+            rng.choice(4096 + 1024, size=60, replace=False)
+        ).astype(np.uint32)
+        used = np.where(used < 4096, used, used - 4096 + 8192).astype(np.uint32)
+        used.sort()
+        got = vacant_block_histogram(used, universe)
+        expected = brute_force_vacancy(used, universe)
+        assert np.array_equal(got, expected)
+
+    def test_address_conservation(self):
+        rng = np.random.default_rng(7)
+        universe = IntervalSet([(0, 2**20)])
+        used = np.unique(rng.integers(0, 2**20, 500)).astype(np.uint32)
+        hist = vacant_block_histogram(used, universe)
+        free_addresses = vacant_address_totals(hist).sum()
+        assert free_addresses == universe.size() - used.size
+
+    def test_empty_universe(self):
+        hist = vacant_block_histogram(np.array([], dtype=np.uint32), IntervalSet())
+        assert hist.sum() == 0
+
+
+class TestAllocationMatrix:
+    def test_shape_and_invertible(self):
+        A = allocation_matrix(1, 32)
+        assert A.shape == (32, 32)
+        assert abs(np.linalg.det(A)) == 1.0
+
+    def test_diagonal_and_triangle(self):
+        A = allocation_matrix(0, 32)
+        assert (np.diag(A) == -1).all()
+        assert (np.triu(A, 1) == 0).all()
+        assert np.array_equal(np.tril(A, -1), np.tril(np.ones_like(A), -1))
+
+    def test_single_address_dynamics(self):
+        """Adding one address to an empty /24 leaves one vacant block of
+        each longer length — the core Section 7 identity."""
+        uni = IntervalSet([(2**24, 2**24 + 256)])
+        x0 = vacant_block_histogram(np.array([], dtype=np.uint32), uni)
+        x1 = vacant_block_histogram(
+            np.array([2**24 + 77], dtype=np.uint32), uni
+        )
+        n = np.zeros(NUM_LEVELS)
+        n[24] = 1
+        predicted = apply_allocations(x0, n)
+        assert np.array_equal(x1, predicted.astype(np.int64))
+
+    def test_sequential_additions_match_dynamics(self):
+        """x' - x = A n holds along a whole random insertion sequence."""
+        rng = np.random.default_rng(42)
+        uni = IntervalSet([(0, 2**16)])
+        A = allocation_matrix(0, 32)
+        used: list[int] = []
+        x = vacant_block_histogram(np.array([], dtype=np.uint32), uni)
+        for _ in range(25):
+            candidate = int(rng.integers(0, 2**16))
+            if candidate in used:
+                continue
+            used.append(candidate)
+            arr = np.array(sorted(used), dtype=np.uint32)
+            x_new = vacant_block_histogram(arr, uni)
+            n = np.linalg.solve(A, (x_new - x).astype(float))
+            # The solved allocation vector is a one-hot unit vector.
+            assert np.isclose(n.sum(), 1.0)
+            assert np.isclose(np.abs(n).sum(), 1.0)
+            x = x_new
+
+    def test_apply_allocations_shape_check(self):
+        with pytest.raises(ValueError):
+            apply_allocations(np.zeros(NUM_LEVELS), np.zeros(5))
+
+
+class TestRangeBlockHistogram:
+    def test_single_full_space(self):
+        hist = range_block_histogram(
+            np.array([0], dtype=np.uint64), np.array([2**32], dtype=np.uint64)
+        )
+        assert hist[0] == 1 and hist.sum() == 1
+
+    def test_batch_equals_individual(self):
+        rng = np.random.default_rng(9)
+        ranges = []
+        for _ in range(20):
+            a = int(rng.integers(0, 2**32 - 10))
+            b = a + int(rng.integers(1, 10_000))
+            ranges.append((a, min(b, 2**32)))
+        starts = np.array([r[0] for r in ranges], dtype=np.uint64)
+        ends = np.array([r[1] for r in ranges], dtype=np.uint64)
+        batch = range_block_histogram(starts, ends)
+        individual = np.zeros(NUM_LEVELS, dtype=np.int64)
+        for a, b in ranges:
+            for block in summarize_range(a, b):
+                individual[block.length] += 1
+        assert np.array_equal(batch, individual)

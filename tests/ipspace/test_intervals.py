@@ -1,0 +1,119 @@
+"""IntervalSet algebra and block counting."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.addresses import ADDRESS_SPACE_SIZE
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.prefixes import Prefix
+
+
+class TestConstruction:
+    def test_merges_adjacent(self):
+        s = IntervalSet([(0, 10), (10, 20)])
+        assert list(s.intervals()) == [(0, 20)]
+
+    def test_merges_overlapping(self):
+        s = IntervalSet([(0, 15), (10, 20), (30, 40)])
+        assert list(s.intervals()) == [(0, 20), (30, 40)]
+
+    def test_drops_empty(self):
+        assert len(IntervalSet([(5, 5)])) == 0
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(ValueError):
+            IntervalSet([(0, ADDRESS_SPACE_SIZE + 1)])
+
+    def test_from_prefixes(self):
+        s = IntervalSet.from_prefixes(
+            [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.1.0/24")]
+        )
+        assert s.size() == 512 and s.num_intervals == 1
+
+    def test_everything(self):
+        assert IntervalSet.everything().size() == ADDRESS_SPACE_SIZE
+
+
+class TestMembership:
+    def test_contains_vectorised(self):
+        s = IntervalSet([(10, 20), (30, 40)])
+        got = s.contains(np.array([9, 10, 19, 20, 35]))
+        assert list(got) == [False, True, True, False, True]
+
+    def test_contains_scalar(self):
+        s = IntervalSet([(10, 20)])
+        assert 10 in s and 19 in s and 20 not in s
+
+    def test_empty_set_contains_nothing(self):
+        assert not IntervalSet().contains(np.array([0, 1])).any()
+
+    def test_contains_interval(self):
+        s = IntervalSet([(10, 100)])
+        assert s.contains_interval(10, 100)
+        assert s.contains_interval(20, 30)
+        assert not s.contains_interval(5, 15)
+        assert not s.contains_interval(90, 110)
+        assert s.contains_interval(50, 50)  # empty is vacuously inside
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(5, 20)])
+        assert list((a | b).intervals()) == [(0, 20)]
+
+    def test_intersection(self):
+        a = IntervalSet([(0, 10), (20, 30)])
+        b = IntervalSet([(5, 25)])
+        assert list((a & b).intervals()) == [(5, 10), (20, 25)]
+
+    def test_difference(self):
+        a = IntervalSet([(0, 30)])
+        b = IntervalSet([(10, 20)])
+        assert list((a - b).intervals()) == [(0, 10), (20, 30)]
+
+    def test_complement_roundtrip(self):
+        s = IntervalSet([(100, 200), (1000, 5000)])
+        assert s.complement().complement() == s
+
+    def test_complement_partitions_space(self):
+        s = IntervalSet([(0, 50), (80, 120)])
+        assert s.size() + s.complement().size() == ADDRESS_SPACE_SIZE
+
+    def test_intersection_with_complement_is_empty(self):
+        s = IntervalSet([(7, 77)])
+        assert (s & s.complement()).size() == 0
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([(0, 10), (10, 20)])
+        b = IntervalSet([(0, 20)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestCidrViews:
+    def test_to_prefixes_roundtrip(self):
+        s = IntervalSet([(3, 700), (2**20, 2**20 + 2**12)])
+        back = IntervalSet.from_prefixes(s.to_prefixes())
+        assert back == s
+
+    def test_count_blocks_exact(self):
+        # One /24 plus half of another: intersects two /24 blocks.
+        s = IntervalSet([(0, 256 + 128)])
+        assert s.count_blocks(24) == 2
+
+    def test_count_blocks_shared_boundary(self):
+        # Two intervals inside the same /24 must count it once.
+        s = IntervalSet([(0, 10), (200, 210)])
+        assert s.count_blocks(24) == 1
+
+    def test_count_blocks_whole_space(self):
+        assert IntervalSet.everything().count_blocks(0) == 1
+        assert IntervalSet.everything().count_blocks(8) == 256
+
+    def test_subnet24_count(self):
+        s = IntervalSet.from_prefixes([Prefix.parse("10.0.0.0/22")])
+        assert s.subnet24_count() == 4
+
+    def test_count_blocks_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            IntervalSet().count_blocks(40)

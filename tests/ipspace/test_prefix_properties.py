@@ -1,0 +1,72 @@
+"""Property-based tests for prefix/interval interplay."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipspace.addresses import ADDRESS_SPACE_SIZE
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.prefixes import Prefix, summarize_range
+
+lengths = st.integers(0, 32)
+addresses = st.integers(0, ADDRESS_SPACE_SIZE - 1)
+
+
+@given(addresses, lengths)
+def test_containing_contains(addr, length):
+    prefix = Prefix.containing(addr, length)
+    assert addr in prefix
+    assert prefix.length == length
+
+
+@given(addresses, lengths)
+def test_containing_is_aligned_and_unique(addr, length):
+    prefix = Prefix.containing(addr, length)
+    # Every other address in the block maps back to the same prefix.
+    assert Prefix.containing(prefix.first, length) == prefix
+    assert Prefix.containing(prefix.last, length) == prefix
+
+
+@given(addresses, st.integers(1, 32))
+def test_supernet_of_containing(addr, length):
+    prefix = Prefix.containing(addr, length)
+    assert prefix.supernet() == Prefix.containing(addr, length - 1)
+    assert prefix.supernet().contains_prefix(prefix)
+
+
+@given(addresses, st.integers(0, 31))
+def test_split_partitions(addr, length):
+    prefix = Prefix.containing(addr, length)
+    low, high = prefix.split()
+    assert low.end == high.base
+    assert low.base == prefix.base and high.end == prefix.end
+    assert low.size + high.size == prefix.size
+
+
+@given(addresses, lengths)
+def test_summarize_of_whole_prefix_is_itself(addr, length):
+    prefix = Prefix.containing(addr, length)
+    assert summarize_range(prefix.base, prefix.end) == [prefix]
+
+
+@given(addresses, st.integers(8, 32))
+def test_interval_block_count_of_prefix(addr, length):
+    """A /L block intersects exactly 2^(l-L) /l blocks for l >= L and
+    exactly one for l < L."""
+    prefix = Prefix.containing(addr, length)
+    space = IntervalSet.from_prefixes([prefix])
+    for l in (length - 4, length, min(32, length + 4)):
+        if l < 0:
+            continue
+        expected = 2 ** (l - length) if l >= length else 1
+        assert space.count_blocks(l) == expected
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(addresses, st.integers(16, 32)), max_size=8))
+def test_prefix_union_size_bounds(items):
+    prefixes = [Prefix.containing(a, l) for a, l in items]
+    space = IntervalSet.from_prefixes(prefixes)
+    total = sum(p.size for p in prefixes)
+    biggest = max((p.size for p in prefixes), default=0)
+    assert space.size() <= total
+    assert space.size() >= biggest

@@ -1,0 +1,130 @@
+"""CIDR prefix arithmetic."""
+
+import pytest
+
+from repro.ipspace.addresses import parse_addr
+from repro.ipspace.prefixes import (
+    Prefix,
+    PrefixError,
+    parse_prefixes,
+    summarize_range,
+)
+
+
+class TestConstruction:
+    def test_parse(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.base == parse_addr("10.0.0.0") and p.length == 8
+
+    def test_parse_bare_address_is_host(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_rejects_misaligned_base(self):
+        with pytest.raises(PrefixError):
+            Prefix(parse_addr("10.0.0.1"), 24)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 33)
+
+    def test_containing_aligns(self):
+        p = Prefix.containing(parse_addr("10.1.2.3"), 24)
+        assert str(p) == "10.1.2.0/24"
+
+    def test_parse_prefixes(self):
+        ps = parse_prefixes(["10.0.0.0/8", "192.168.0.0/16"])
+        assert [p.length for p in ps] == [8, 16]
+
+    def test_parse_rejects_garbage_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/abc")
+
+
+class TestGeometry:
+    def test_size_and_bounds(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.size == 256
+        assert p.first == parse_addr("10.0.0.0")
+        assert p.last == parse_addr("10.0.0.255")
+        assert p.end == p.last + 1
+
+    def test_contains_address(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert parse_addr("10.0.0.7") in p
+        assert parse_addr("10.0.1.0") not in p
+
+    def test_contains_prefix(self):
+        big = Prefix.parse("10.0.0.0/8")
+        small = Prefix.parse("10.5.0.0/16")
+        assert big.contains_prefix(small)
+        assert not small.contains_prefix(big)
+        assert big.contains_prefix(big)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/9")
+        b = Prefix.parse("10.0.0.0/8")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_ordering_is_by_range(self):
+        assert Prefix.parse("9.0.0.0/8") < Prefix.parse("10.0.0.0/8")
+
+
+class TestHierarchy:
+    def test_supernet(self):
+        assert str(Prefix.parse("10.128.0.0/9").supernet()) == "10.0.0.0/8"
+
+    def test_supernet_of_zero_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix(0, 0).supernet()
+
+    def test_split_halves(self):
+        low, high = Prefix.parse("10.0.0.0/8").split()
+        assert str(low) == "10.0.0.0/9" and str(high) == "10.128.0.0/9"
+
+    def test_split_host_fails(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("1.2.3.4").split()
+
+    def test_subnets_enumeration(self):
+        subs = list(Prefix.parse("10.0.0.0/22").subnets(24))
+        assert len(subs) == 4
+        assert str(subs[0]) == "10.0.0.0/24" and str(subs[-1]) == "10.0.3.0/24"
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(PrefixError):
+            list(Prefix.parse("10.0.0.0/24").subnets(8))
+
+
+class TestSummarizeRange:
+    def test_aligned_block(self):
+        blocks = summarize_range(0, 256)
+        assert [str(b) for b in blocks] == ["0.0.0.0/24"]
+
+    def test_unaligned_start(self):
+        blocks = summarize_range(1, 256)
+        assert sum(b.size for b in blocks) == 255
+        # Every block is maximal: its supernet must spill out of range.
+        for b in blocks:
+            if b.length > 0:
+                sup = b.supernet()
+                assert sup.base < 1 or sup.end > 256
+
+    def test_covers_exactly_no_overlap(self):
+        blocks = summarize_range(13, 777)
+        covered = []
+        for b in blocks:
+            covered.extend(range(b.base, b.end))
+        assert covered == list(range(13, 777))
+
+    def test_empty_range(self):
+        assert summarize_range(10, 10) == []
+
+    def test_full_space(self):
+        blocks = summarize_range(0, 2**32)
+        assert len(blocks) == 1 and blocks[0].length == 0
+
+    def test_rejects_reversed(self):
+        with pytest.raises(Exception):
+            summarize_range(20, 10)

@@ -1,0 +1,48 @@
+"""Special-use registry and public space."""
+
+from repro.ipspace.addresses import ADDRESS_SPACE_SIZE, parse_addr
+from repro.ipspace.special import (
+    SPECIAL_USE_PREFIXES,
+    public_space,
+    special_use_intervals,
+    special_use_prefixes,
+)
+
+
+class TestSpecialUse:
+    def test_registry_parses(self):
+        assert len(special_use_prefixes()) == len(SPECIAL_USE_PREFIXES)
+
+    def test_private_space_is_special(self):
+        s = special_use_intervals()
+        for addr in ("10.1.2.3", "172.16.0.1", "192.168.1.1", "127.0.0.1"):
+            assert parse_addr(addr) in s
+
+    def test_multicast_and_class_e_special(self):
+        s = special_use_intervals()
+        assert parse_addr("224.0.0.1") in s
+        assert parse_addr("240.0.0.1") in s
+        assert parse_addr("255.255.255.255") in s
+
+    def test_ordinary_space_not_special(self):
+        s = special_use_intervals()
+        for addr in ("8.8.8.8", "203.0.112.1", "99.1.2.3"):
+            assert parse_addr(addr) not in s
+
+
+class TestPublicSpace:
+    def test_partitions_with_special(self):
+        assert (
+            public_space().size() + special_use_intervals().size()
+            == ADDRESS_SPACE_SIZE
+        )
+
+    def test_public_contains_ordinary(self):
+        p = public_space()
+        assert parse_addr("8.8.8.8") in p
+        assert parse_addr("10.0.0.1") not in p
+
+    def test_public_size_plausible(self):
+        # Multicast+class E alone remove 1/8 of the space.
+        size = public_space().size()
+        assert 3.5e9 < size < 3.8e9

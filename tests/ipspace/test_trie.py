@@ -1,0 +1,104 @@
+"""Prefix trie longest-prefix matching."""
+
+import pytest
+
+from repro.ipspace.addresses import parse_addr
+from repro.ipspace.prefixes import Prefix
+from repro.ipspace.trie import PrefixTrie
+
+
+def build(entries):
+    trie = PrefixTrie()
+    for text, value in entries:
+        trie.insert(Prefix.parse(text), value)
+    return trie
+
+
+class TestInsertLookup:
+    def test_exact(self):
+        trie = build([("10.0.0.0/8", "a")])
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "a"
+
+    def test_exact_missing_raises(self):
+        trie = build([("10.0.0.0/8", "a")])
+        with pytest.raises(KeyError):
+            trie.exact(Prefix.parse("10.0.0.0/9"))
+
+    def test_insert_replaces(self):
+        trie = build([("10.0.0.0/8", "a"), ("10.0.0.0/8", "b")])
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_len(self):
+        trie = build([("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("9.0.0.0/8", 3)])
+        assert len(trie) == 3
+
+
+class TestLongestMatch:
+    def test_prefers_longest(self):
+        trie = build([("10.0.0.0/8", "big"), ("10.1.0.0/16", "small")])
+        prefix, value = trie.longest_match(parse_addr("10.1.2.3"))
+        assert value == "small" and prefix.length == 16
+
+    def test_falls_back_to_shorter(self):
+        trie = build([("10.0.0.0/8", "big"), ("10.1.0.0/16", "small")])
+        prefix, value = trie.longest_match(parse_addr("10.2.0.1"))
+        assert value == "big" and prefix.length == 8
+
+    def test_no_match(self):
+        trie = build([("10.0.0.0/8", "big")])
+        assert trie.longest_match(parse_addr("11.0.0.1")) is None
+
+    def test_default_route(self):
+        trie = build([("0.0.0.0/0", "default"), ("10.0.0.0/8", "ten")])
+        _, value = trie.longest_match(parse_addr("200.0.0.1"))
+        assert value == "default"
+
+    def test_host_route(self):
+        trie = build([("1.2.3.4/32", "host")])
+        assert trie.longest_match(parse_addr("1.2.3.4"))[1] == "host"
+        assert trie.longest_match(parse_addr("1.2.3.5")) is None
+
+    def test_covers(self):
+        trie = build([("10.0.0.0/8", True)])
+        assert trie.covers(parse_addr("10.255.255.255"))
+        assert not trie.covers(parse_addr("11.0.0.0"))
+
+
+class TestRemoveAndItems:
+    def test_remove(self):
+        trie = build([("10.0.0.0/8", "a"), ("10.1.0.0/16", "b")])
+        assert trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert trie.longest_match(parse_addr("10.1.2.3"))[1] == "a"
+        assert len(trie) == 1
+
+    def test_remove_missing_returns_false(self):
+        trie = build([("10.0.0.0/8", "a")])
+        assert not trie.remove(Prefix.parse("11.0.0.0/8"))
+
+    def test_items_in_address_order(self):
+        trie = build(
+            [("192.0.0.0/8", 1), ("10.0.0.0/8", 2), ("10.128.0.0/9", 3)]
+        )
+        prefixes = trie.prefixes()
+        assert [str(p) for p in prefixes] == [
+            "10.0.0.0/8",
+            "10.128.0.0/9",
+            "192.0.0.0/8",
+        ]
+
+    def test_routing_table_scenario(self):
+        # A small BGP-like table: more-specific wins, withdrawals fall back.
+        trie = build(
+            [
+                ("0.0.0.0/0", "upstream"),
+                ("203.0.0.0/12", "peer"),
+                ("203.0.113.0/24", "customer"),
+            ]
+        )
+        addr = parse_addr("203.0.113.9")
+        assert trie.longest_match(addr)[1] == "customer"
+        trie.remove(Prefix.parse("203.0.113.0/24"))
+        assert trie.longest_match(addr)[1] == "peer"
+        trie.remove(Prefix.parse("203.0.0.0/12"))
+        assert trie.longest_match(addr)[1] == "upstream"

@@ -1,0 +1,156 @@
+"""Registry generation and lookup."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.special import special_use_intervals
+from repro.registry.allocations import (
+    REAL_ALLOCATED_24S,
+    AllocationRegistry,
+    generate_registry,
+)
+from repro.registry.rir import RIR, Industry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return generate_registry(np.random.default_rng(7), scale=2.0**-12)
+
+
+class TestGeneration:
+    def test_capacity_close_to_target(self, registry):
+        total_24s = sum(
+            max(1, a.prefix.size // 256) for a in registry.allocations
+        )
+        target = int(REAL_ALLOCATED_24S * 2.0**-12)
+        assert target <= total_24s <= target * 1.2
+
+    def test_no_overlaps(self, registry):
+        allocs = registry.allocations
+        for a, b in zip(allocs, allocs[1:]):
+            assert a.prefix.end <= b.prefix.base
+
+    def test_avoids_special_space(self, registry):
+        special = special_use_intervals()
+        for alloc in registry.allocations:
+            assert not special.contains(np.array([alloc.prefix.base]))[0]
+            assert not special.contains(np.array([alloc.prefix.last]))[0]
+
+    def test_all_rirs_present(self, registry):
+        rirs = {a.rir for a in registry.allocations}
+        assert rirs == set(RIR)
+
+    def test_rir_shares_roughly_match(self, registry):
+        sizes = {rir: 0 for rir in RIR}
+        for alloc in registry.allocations:
+            sizes[alloc.rir] += alloc.prefix.size
+        total = sum(sizes.values())
+        assert sizes[RIR.ARIN] / total == pytest.approx(0.38, abs=0.12)
+        assert sizes[RIR.AFRINIC] / total < sizes[RIR.RIPE] / total
+
+    def test_years_in_range(self, registry):
+        years = [a.year for a in registry.allocations]
+        assert min(years) >= 1983 and max(years) <= 2014
+
+    def test_real_lengths_in_range(self, registry):
+        lengths = {a.real_length for a in registry.allocations}
+        assert lengths <= set(range(8, 25))
+        assert 8 in lengths  # some legacy /8-equivalents exist
+
+    def test_apnic_post_runout_allocations_small(self, registry):
+        post = [
+            a
+            for a in registry.allocations
+            if a.rir == RIR.APNIC and a.year >= 2012
+        ]
+        if post:  # /22-style final policy dominates
+            assert np.median([a.real_length for a in post]) >= 21
+
+    def test_darknets_planted(self, registry):
+        darknets = [a for a in registry.allocations if a.darknet]
+        assert len(darknets) == 2
+        for d in darknets:
+            assert d.industry == Industry.MILITARY
+            assert d.is_routed_ever
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            generate_registry(np.random.default_rng(0), scale=0.0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_registry(np.random.default_rng(42), scale=2.0**-13)
+        b = generate_registry(np.random.default_rng(42), scale=2.0**-13)
+        assert len(a) == len(b)
+        assert all(
+            x.prefix == y.prefix and x.rir == y.rir
+            for x, y in zip(a.allocations, b.allocations)
+        )
+
+
+class TestLookup:
+    def test_lookup_hits_and_misses(self, registry):
+        first = registry.allocations[0]
+        inside = np.array([first.prefix.base, first.prefix.last], dtype=np.uint32)
+        assert list(registry.lookup(inside)) == [0, 0]
+        # One past the end either misses or hits the *next* allocation.
+        after = registry.lookup(np.array([first.prefix.end], dtype=np.uint32))[0]
+        assert after != 0
+
+    def test_lookup_unallocated(self, registry):
+        # Multicast space is never allocated.
+        assert registry.lookup(np.array([0xE0000001], dtype=np.uint32))[0] == -1
+
+    def test_rejects_overlapping_registry(self):
+        from repro.ipspace.prefixes import Prefix
+        from repro.registry.allocations import Allocation
+
+        a = Allocation(0, Prefix.parse("1.0.0.0/8"), RIR.ARIN, "US", 2000, 8,
+                       Industry.ISP, 2000.0)
+        b = Allocation(1, Prefix.parse("1.128.0.0/9"), RIR.ARIN, "US", 2000, 9,
+                       Industry.ISP, 2000.0)
+        with pytest.raises(ValueError):
+            AllocationRegistry([a, b])
+
+
+class TestLabelers:
+    def test_rir_labeler(self, registry):
+        alloc = registry.allocations[3]
+        label = registry.labeler("rir")(
+            np.array([alloc.prefix.base], dtype=np.uint32)
+        )
+        assert label[0] == int(alloc.rir)
+
+    def test_country_labeler(self, registry):
+        alloc = registry.allocations[3]
+        label = registry.labeler("country")(
+            np.array([alloc.prefix.base], dtype=np.uint32)
+        )
+        assert label[0] == alloc.country
+
+    def test_unallocated_labels(self, registry):
+        addr = np.array([0xE0000001], dtype=np.uint32)
+        assert registry.labeler("rir")(addr)[0] == -1
+        assert registry.labeler("country")(addr)[0] == "??"
+
+    def test_prefix_and_age_labelers(self, registry):
+        alloc = registry.allocations[5]
+        addr = np.array([alloc.prefix.base], dtype=np.uint32)
+        assert registry.labeler("prefix")(addr)[0] == alloc.real_length
+        assert registry.labeler("age")(addr)[0] == alloc.year
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.labeler("species")
+
+
+class TestPools:
+    def test_rir_pools_cover_allocations(self, registry):
+        for rir in RIR:
+            space = registry.rir_space(rir)
+            own = registry.allocated_space_of(rir)
+            assert (own - space).size() == 0
+
+    def test_unallocated_pool_disjoint_from_allocations(self, registry):
+        free = registry.unallocated_in_pool(RIR.ARIN)
+        allocated = registry.allocated_space()
+        assert (free & allocated).size() == 0

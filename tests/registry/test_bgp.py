@@ -1,0 +1,124 @@
+"""BGP event stream and collector."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.prefixes import Prefix
+from repro.registry.allocations import generate_registry
+from repro.registry.bgp import (
+    EventKind,
+    RouteCollector,
+    RouteEvent,
+    generate_route_events,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(21)
+    registry = generate_registry(rng, scale=2.0**-14)
+    bogons = [Prefix.parse("203.0.113.0/24")]
+    events = generate_route_events(
+        registry, rng, bogon_prefixes=bogons
+    )
+    return registry, bogons, RouteCollector(events)
+
+
+class TestEventGeneration:
+    def test_events_sorted(self, setup):
+        _, _, collector = setup
+        times = [e.time for e in collector.events_until(1e9)]
+        assert times == sorted(times)
+
+    def test_every_routed_allocation_announces(self, setup):
+        registry, _, collector = setup
+        announced = {
+            e.origin
+            for e in collector.events_until(1e9)
+            if e.kind is EventKind.ANNOUNCE and e.origin >= 0
+        }
+        routed = {
+            a.index
+            for a in registry
+            if np.isfinite(a.routed_from) and a.routed_from < 2014.5
+        }
+        assert routed <= announced
+
+    def test_flaps_balanced(self, setup):
+        """Withdrawals never exceed prior announcements per prefix."""
+        _, _, collector = setup
+        balance: dict = {}
+        for event in collector.events_until(1e9):
+            delta = 1 if event.kind is EventKind.ANNOUNCE else -1
+            balance[event.prefix] = balance.get(event.prefix, 0) + delta
+            assert balance[event.prefix] >= -1  # transient withdraw ok
+
+    def test_bogons_included(self, setup):
+        _, bogons, collector = setup
+        bogon_events = [
+            e for e in collector.events_until(1e9) if e.origin == -1
+        ]
+        assert len(bogon_events) == 2 * len(bogons)
+
+
+class TestCollector:
+    def test_table_grows_over_time(self, setup):
+        _, _, collector = setup
+        early = len(collector.table_at(2005.0))
+        late = len(collector.table_at(2014.0))
+        assert late > early
+
+    def test_snapshot_excludes_withdrawn(self, setup):
+        """A prefix flapping down at time t is absent from a snapshot
+        during the outage."""
+        _, _, collector = setup
+        withdraw = next(
+            e
+            for e in collector.events_until(1e9)
+            if e.kind is EventKind.WITHDRAW and e.origin >= 0
+        )
+        table = collector.table_at(withdraw.time + 1e-7)
+        with pytest.raises(KeyError):
+            table.exact(withdraw.prefix)
+
+    def test_aggregation_superset_of_snapshots(self, setup):
+        _, _, collector = setup
+        window = (2013.5, 2014.5)
+        aggregated = collector.aggregated_window(*window)
+        snapshot = collector.snapshot_prefixes(2014.0)
+        for prefix in snapshot:
+            assert aggregated.contains_interval(prefix.base, prefix.end)
+
+    def test_bogons_excluded_from_aggregation(self, setup):
+        _, bogons, collector = setup
+        aggregated = collector.aggregated_window(2011.0, 2014.5)
+        for bogon in bogons:
+            assert not aggregated.contains_interval(bogon.base, bogon.end)
+
+    def test_bogons_included_when_asked(self, setup):
+        _, bogons, collector = setup
+        aggregated = collector.aggregated_window(
+            2011.0, 2014.5, exclude_bogons=False
+        )
+        covered = any(
+            aggregated.contains_interval(b.base, b.end) for b in bogons
+        )
+        assert covered
+
+    def test_churn_counts(self, setup):
+        _, _, collector = setup
+        announces, withdraws = collector.churn_counts(2011.0, 2014.5)
+        assert announces > 0 and withdraws > 0
+
+    def test_agrees_with_routed_space_model(self, setup):
+        """The event-level aggregation and the coarse RoutedSpace model
+        cover approximately the same space for the same window."""
+        registry, _, collector = setup
+        from repro.registry.routing import RoutedSpace
+
+        routing = RoutedSpace(registry, np.random.default_rng(5))
+        window = (2013.5, 2014.5)
+        coarse = routing.window(*window)
+        fine = collector.aggregated_window(*window)
+        overlap = (coarse & fine).size()
+        assert overlap > 0.9 * min(coarse.size(), fine.size())

@@ -1,0 +1,53 @@
+"""Country composition tables."""
+
+import numpy as np
+import pytest
+
+from repro.registry.countries import (
+    COUNTRIES_BY_RIR,
+    all_country_codes,
+    country_growth_multiplier,
+    country_weights,
+)
+from repro.registry.rir import RIR
+
+
+class TestCountryTables:
+    def test_every_rir_has_countries(self):
+        assert set(COUNTRIES_BY_RIR) == set(RIR)
+        for rows in COUNTRIES_BY_RIR.values():
+            assert len(rows) >= 5
+
+    def test_weights_normalised(self):
+        for rir in RIR:
+            _, weights = country_weights(rir)
+            assert weights.sum() == pytest.approx(1.0)
+            assert (weights > 0).all()
+
+    def test_us_dominates_arin(self):
+        codes, weights = country_weights(RIR.ARIN)
+        assert codes[int(np.argmax(weights))] == "US"
+
+    def test_cn_dominates_apnic(self):
+        codes, weights = country_weights(RIR.APNIC)
+        assert codes[int(np.argmax(weights))] == "CN"
+
+    def test_paper_fast_growers(self):
+        """Romania and the Asian/South-American growers of Fig 9."""
+        assert country_growth_multiplier(RIR.RIPE, "RO") > 1.5
+        assert country_growth_multiplier(RIR.LACNIC, "BR") > 1.4
+        assert country_growth_multiplier(RIR.APNIC, "VN") > 1.5
+        assert country_growth_multiplier(RIR.APNIC, "CN") > 1.0
+
+    def test_mature_markets_grow_slowly(self):
+        assert country_growth_multiplier(RIR.RIPE, "DE") < 1.0
+        assert country_growth_multiplier(RIR.APNIC, "JP") < 1.0
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            country_growth_multiplier(RIR.ARIN, "ZZ")
+
+    def test_all_country_codes_unique_sorted(self):
+        codes = all_country_codes()
+        assert codes == sorted(set(codes))
+        assert "US" in codes and "CN" in codes

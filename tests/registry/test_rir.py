@@ -1,0 +1,85 @@
+"""RIR profiles and industry tables."""
+
+import pytest
+
+from repro.registry.rir import (
+    INDUSTRY_ROUTED_PROB,
+    INDUSTRY_UTILISATION,
+    INDUSTRY_WEIGHTS,
+    RIR,
+    RIR_NAMES,
+    Industry,
+    rir_profiles,
+)
+
+
+class TestRirProfiles:
+    def test_all_five_present(self):
+        profiles = rir_profiles()
+        assert set(profiles) == set(RIR)
+        assert RIR_NAMES == ("AFRINIC", "APNIC", "ARIN", "LACNIC", "RIPE")
+
+    def test_space_shares_sum_to_one(self):
+        total = sum(p.space_share for p in rir_profiles().values())
+        assert total == pytest.approx(1.0)
+
+    def test_big_three_ordering(self):
+        profiles = rir_profiles()
+        assert profiles[RIR.ARIN].space_share > profiles[RIR.LACNIC].space_share
+        assert profiles[RIR.RIPE].space_share > profiles[RIR.AFRINIC].space_share
+
+    def test_exhausted_rirs_run_out_first(self):
+        profiles = rir_profiles()
+        # APNIC (2011) and RIPE (2012) exhausted before the others [1].
+        assert profiles[RIR.APNIC].runout_year < 2012
+        assert profiles[RIR.RIPE].runout_year < 2013
+        assert profiles[RIR.AFRINIC].runout_year > 2015
+
+    def test_growth_ordering_matches_paper(self):
+        """AfriNIC fastest relative growth, RIPE slowest of the big
+        three (Section 6.4)."""
+        profiles = rir_profiles()
+        growth = {r: p.growth_rate for r, p in profiles.items()}
+        assert growth[RIR.AFRINIC] == max(growth.values())
+        assert growth[RIR.RIPE] < growth[RIR.APNIC]
+        assert growth[RIR.RIPE] < growth[RIR.ARIN]
+
+    def test_arin_has_most_legacy(self):
+        profiles = rir_profiles()
+        assert profiles[RIR.ARIN].legacy_share == max(
+            p.legacy_share for p in profiles.values()
+        )
+
+    def test_unallocated_fractions(self):
+        profiles = rir_profiles()
+        assert profiles[RIR.AFRINIC].unallocated_fraction > 0.2
+        for rir in (RIR.APNIC, RIR.RIPE):
+            assert profiles[rir].unallocated_fraction < 0.05
+
+
+class TestIndustryTables:
+    def test_weights_sum_to_one(self):
+        assert sum(INDUSTRY_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_all_industries_covered(self):
+        for table in (INDUSTRY_WEIGHTS, INDUSTRY_UTILISATION, INDUSTRY_ROUTED_PROB):
+            assert set(table) == set(Industry)
+
+    def test_isp_dominates(self):
+        assert INDUSTRY_WEIGHTS[Industry.ISP] == max(INDUSTRY_WEIGHTS.values())
+        assert INDUSTRY_UTILISATION[Industry.ISP] == max(
+            INDUSTRY_UTILISATION.values()
+        )
+
+    def test_military_is_darkest(self):
+        assert INDUSTRY_UTILISATION[Industry.MILITARY] == min(
+            INDUSTRY_UTILISATION.values()
+        )
+        assert INDUSTRY_ROUTED_PROB[Industry.MILITARY] == min(
+            INDUSTRY_ROUTED_PROB.values()
+        )
+
+    def test_probabilities_valid(self):
+        for table in (INDUSTRY_UTILISATION, INDUSTRY_ROUTED_PROB):
+            for value in table.values():
+                assert 0 <= value <= 1

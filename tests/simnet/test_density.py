@@ -1,0 +1,97 @@
+"""Occupancy and last-octet distributions."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.density import (
+    LAST_BYTE_PMF,
+    draw_last_bytes,
+    draw_subnet_population,
+    draw_subnet_sizes,
+    last_byte_probabilities,
+)
+
+
+class TestLastBytePmf:
+    def test_normalised(self):
+        assert LAST_BYTE_PMF.sum() == pytest.approx(1.0)
+        assert (LAST_BYTE_PMF > 0).all()
+
+    def test_gateway_conventions(self):
+        # .1 is the single most popular host byte; .0/.255 are rare.
+        assert LAST_BYTE_PMF[1] == LAST_BYTE_PMF.max()
+        assert LAST_BYTE_PMF[0] < 1 / 256
+        assert LAST_BYTE_PMF[255] < 1 / 256
+
+    def test_low_bytes_favoured(self):
+        assert LAST_BYTE_PMF[:64].sum() > 0.45
+
+    def test_strongly_nonuniform(self):
+        """The Bayes spoof filter needs a clearly non-uniform pmf."""
+        uniform = np.full(256, 1 / 256)
+        tv_distance = 0.5 * np.abs(LAST_BYTE_PMF - uniform).sum()
+        assert tv_distance > 0.2
+
+    def test_function_matches_constant(self):
+        assert np.allclose(last_byte_probabilities(), LAST_BYTE_PMF)
+
+
+class TestSubnetSizes:
+    def test_bounds(self, rng):
+        sizes = draw_subnet_sizes(rng, 5000)
+        assert sizes.min() >= 1 and sizes.max() <= 254
+
+    def test_mean_matches_paper_ratio(self, rng):
+        """~190 addresses per used /24 (1.2 B / 6.3 M)."""
+        sizes = draw_subnet_sizes(rng, 20_000)
+        assert 130 < sizes.mean() < 220
+
+    def test_bimodal(self, rng):
+        sizes = draw_subnet_sizes(rng, 20_000)
+        assert (sizes < 32).mean() > 0.15  # sparse mode exists
+        assert (sizes > 128).mean() > 0.3  # dense mode exists
+
+    def test_empty(self, rng):
+        assert len(draw_subnet_sizes(rng, 0)) == 0
+
+
+class TestDrawLastBytes:
+    def test_distinct_and_sorted(self, rng):
+        bytes_ = draw_last_bytes(rng, 100)
+        assert len(np.unique(bytes_)) == 100
+        assert (np.diff(bytes_.astype(int)) > 0).all()
+
+    def test_caps_at_254(self, rng):
+        assert len(draw_last_bytes(rng, 500)) == 254
+
+    def test_bias_visible_in_aggregate(self, rng):
+        counts = np.zeros(256)
+        for _ in range(300):
+            counts[draw_last_bytes(rng, 20)] += 1
+        assert counts[1] > counts[200]
+
+
+class TestSubnetPopulation:
+    def test_addresses_in_their_subnets(self, rng):
+        bases = np.array([0, 512, 1024], dtype=np.uint32)
+        sizes = np.array([3, 5, 2])
+        addrs, owner = draw_subnet_population(rng, bases, sizes)
+        assert len(addrs) == 10
+        for a, o in zip(addrs, owner):
+            assert bases[o] <= a < bases[o] + 256
+
+    def test_empty_subnets_skipped(self, rng):
+        bases = np.array([0, 256], dtype=np.uint32)
+        addrs, owner = draw_subnet_population(rng, bases, np.array([0, 4]))
+        assert len(addrs) == 4 and set(owner) == {1}
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            draw_subnet_population(
+                rng, np.array([0], dtype=np.uint32), np.array([1, 2])
+            )
+
+    def test_no_duplicates_within_subnet(self, rng):
+        bases = np.zeros(1, dtype=np.uint32)
+        addrs, _ = draw_subnet_population(rng, bases, np.array([200]))
+        assert len(np.unique(addrs)) == 200

@@ -1,0 +1,47 @@
+"""Session-churn simulation (Section 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.dynamics import simulate_session_churn
+
+
+class TestChurn:
+    def test_counts_monotone(self, rng):
+        obs = simulate_session_churn(rng, num_clients=5_000, num_days=16)
+        assert (np.diff(obs.distinct_addresses) >= 0).all()
+        assert (np.diff(obs.distinct_subnets) >= 0).all()
+
+    def test_addresses_churn_faster_than_subnets(self, rng):
+        """The paper's key Section 4.6 observation: after all clients
+        have been seen once, distinct IPs keep growing much faster than
+        distinct /24s (2.7x vs 1.2x over 16 days)."""
+        obs = simulate_session_churn(rng, num_clients=30_000, num_days=16)
+        addr_factor, subnet_factor = obs.growth_after_saturation()
+        assert addr_factor > 1.8
+        assert subnet_factor < 1.35
+        assert addr_factor > subnet_factor * 1.5
+
+    def test_all_clients_seen_within_first_days(self, rng):
+        obs = simulate_session_churn(
+            rng, num_clients=2_000, num_days=16, sessions_per_day=0.9
+        )
+        # With p=0.9/day, everyone logs in within a few days (paper: 4).
+        assert obs.all_seen_day <= 6
+
+    def test_subnets_bounded_by_addresses(self, rng):
+        obs = simulate_session_churn(rng, num_clients=3_000, num_days=10)
+        assert (obs.distinct_subnets <= obs.distinct_addresses).all()
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_session_churn(rng, num_clients=0)
+        with pytest.raises(ValueError):
+            simulate_session_churn(rng, num_days=0)
+
+    def test_no_cross_subnet_hops_limits_subnet_growth(self, rng):
+        obs = simulate_session_churn(
+            rng, num_clients=10_000, num_days=16, cross_subnet_prob=0.0
+        )
+        _, subnet_factor = obs.growth_after_saturation()
+        assert subnet_factor == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,48 @@
+"""Host types and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.registry.rir import Industry
+from repro.simnet.hosts import (
+    HOST_TYPE_NAMES,
+    HostType,
+    draw_host_types,
+    type_mix,
+)
+
+
+class TestTypeMix:
+    def test_rows_normalised(self):
+        for industry in Industry:
+            assert type_mix(industry).sum() == pytest.approx(1.0)
+
+    def test_isp_client_heavy(self):
+        mix = type_mix(Industry.ISP)
+        assert mix[HostType.CLIENT] > 0.8
+
+    def test_corporate_more_servers_than_isp(self):
+        assert (
+            type_mix(Industry.CORPORATE)[HostType.SERVER]
+            > type_mix(Industry.ISP)[HostType.SERVER]
+        )
+
+    def test_specialised_is_thin_tail(self):
+        for industry in Industry:
+            assert type_mix(industry)[HostType.SPECIALISED] <= 0.15
+
+    def test_names(self):
+        assert HOST_TYPE_NAMES == ("ROUTER", "SERVER", "CLIENT", "SPECIALISED")
+
+
+class TestDraw:
+    def test_draw_distribution(self, rng):
+        types = draw_host_types(rng, Industry.ISP, 50_000)
+        assert types.dtype == np.int8
+        share_client = (types == HostType.CLIENT).mean()
+        assert share_client == pytest.approx(
+            type_mix(Industry.ISP)[HostType.CLIENT], abs=0.01
+        )
+
+    def test_draw_zero(self, rng):
+        assert len(draw_host_types(rng, Industry.ISP, 0)) == 0

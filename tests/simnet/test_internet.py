@@ -1,0 +1,54 @@
+"""SyntheticInternet facade."""
+
+import pytest
+
+from repro.simnet.internet import SimulationConfig, SyntheticInternet
+
+
+class TestFacade:
+    def test_deterministic(self):
+        config = SimulationConfig(scale=2.0**-14, seed=5)
+        a = SyntheticInternet(config)
+        b = SyntheticInternet(config)
+        assert len(a.population) == len(b.population)
+        assert (a.population.addresses == b.population.addresses).all()
+
+    def test_different_seeds_differ(self):
+        a = SyntheticInternet(SimulationConfig(scale=2.0**-14, seed=1))
+        b = SyntheticInternet(SimulationConfig(scale=2.0**-14, seed=2))
+        assert len(a.population) != len(b.population) or (
+            a.population.addresses != b.population.addresses
+        ).any()
+
+    def test_utilisation_matches_paper(self, tiny_internet):
+        """~45 % of routed addresses and ~60 % of routed /24s used."""
+        used = tiny_internet.truth_used_addresses(2013.5, 2014.5)
+        routed = tiny_internet.routed_size(2013.5, 2014.5)
+        assert 0.25 < used / routed < 0.6
+        used24 = tiny_internet.truth_used_subnets(2013.5, 2014.5)
+        routed24 = tiny_internet.routed_subnets(2013.5, 2014.5)
+        assert 0.45 < used24 / routed24 < 0.75
+
+    def test_ground_truth_networks(self, tiny_internet):
+        networks = tiny_internet.ground_truth_networks()
+        assert [n.label for n in networks] == ["A", "B", "C", "D", "E", "F"]
+        assert networks[-1].blocks_pings
+        assert not any(n.blocks_pings for n in networks[:-1])
+        # Utilisation spreads across the panel.
+        truths = [
+            tiny_internet.network_truth_percentage(n, 2013.0)
+            for n in networks
+        ]
+        assert max(truths) > 1.5 * min(truths)
+
+    def test_networks_cached(self, tiny_internet):
+        assert (
+            tiny_internet.ground_truth_networks()
+            == tiny_internet.ground_truth_networks()
+        )
+
+    def test_describe_mentions_scale(self, tiny_internet):
+        assert "scale" in tiny_internet.describe()
+
+    def test_darknets_accessible(self, tiny_internet):
+        assert len(tiny_internet.darknet_allocations) == 2

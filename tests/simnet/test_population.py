@@ -1,0 +1,113 @@
+"""Ground-truth population generation."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.addresses import subnet24_of
+from repro.registry.rir import Industry
+
+
+class TestPopulationStructure:
+    def test_sorted_unique_addresses(self, tiny_internet):
+        pop = tiny_internet.population
+        addrs = pop.addresses
+        assert (addrs[1:] > addrs[:-1]).all()
+
+    def test_arrays_aligned(self, tiny_internet):
+        pop = tiny_internet.population
+        n = len(pop)
+        for attr in ("alloc_index", "host_type", "dynamic", "activity",
+                     "active_from"):
+            assert len(getattr(pop, attr)) == n
+
+    def test_all_addresses_inside_their_allocation(self, tiny_internet):
+        pop = tiny_internet.population
+        registry = tiny_internet.registry
+        idx = registry.lookup(pop.addresses)
+        assert (idx == pop.alloc_index).all()
+
+    def test_only_routed_allocations_populated(self, tiny_internet):
+        pop = tiny_internet.population
+        routed_from = tiny_internet.registry.routed_from[pop.alloc_index]
+        assert np.isfinite(routed_from).all()
+
+    def test_darknets_nearly_empty(self, tiny_internet):
+        pop = tiny_internet.population
+        for alloc in tiny_internet.darknet_allocations:
+            count = int(np.count_nonzero(pop.alloc_index == alloc.index))
+            assert count < alloc.prefix.size * 0.01
+
+    def test_activity_positive_mean_near_one(self, tiny_internet):
+        act = tiny_internet.population.activity
+        assert (act > 0).all()
+        assert 0.3 < float(act.mean()) < 3.0
+
+    def test_clients_dominate(self, tiny_internet):
+        from repro.simnet.hosts import HostType
+
+        types = tiny_internet.population.host_type
+        assert (types == HostType.CLIENT).mean() > 0.5
+
+    def test_dynamic_only_clients_in_isp(self, tiny_internet):
+        from repro.simnet.hosts import HostType
+
+        pop = tiny_internet.population
+        dyn = pop.dynamic
+        industries = tiny_internet.registry.industry_codes[pop.alloc_index]
+        assert (industries[dyn] == Industry.ISP).all()
+        assert (pop.host_type[dyn] == HostType.CLIENT).all()
+
+
+class TestTemporalBehaviour:
+    def test_population_grows(self, tiny_internet):
+        pop = tiny_internet.population
+        counts = [pop.used_count(2011.0, 2011.0 + 1e-6)]
+        for end in (2012.0, 2013.0, 2014.5):
+            counts.append(pop.used_count(end - 1.0, end))
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_growth_magnitude_matches_paper_shape(self, tiny_internet):
+        """Used addresses grow by roughly two-thirds over the study
+        period (720 M -> 1.2 B)."""
+        pop = tiny_internet.population
+        first = pop.used_count(2011.0, 2012.0)
+        last = pop.used_count(2013.5, 2014.5)
+        assert 1.3 < last / first < 2.0
+
+    def test_window_usage_monotone_in_end(self, tiny_internet):
+        pop = tiny_internet.population
+        assert pop.used_count(2012.0, 2013.0) <= pop.used_count(2012.0, 2014.0)
+
+    def test_subnet_count_consistent(self, tiny_internet):
+        pop = tiny_internet.population
+        ipset = pop.used_ipset(2013.5, 2014.5)
+        expected = len(np.unique(subnet24_of(ipset.addresses)))
+        assert pop.used_subnet24_count(2013.5, 2014.5) == expected
+
+    def test_active_mask_point_in_time(self, tiny_internet):
+        pop = tiny_internet.population
+        assert pop.active_mask(2014.5).sum() >= pop.active_mask(2011.0).sum()
+
+
+class TestPeakUsage:
+    def test_peak_below_window_usage(self, tiny_internet):
+        """Peak simultaneous usage discounts dynamic churn, so it sits
+        at or below the active address count."""
+        pop = tiny_internet.population
+        for network in tiny_internet.ground_truth_networks():
+            alloc = network.allocation
+            active = int(
+                np.count_nonzero(
+                    (pop.alloc_index == alloc.index) & pop.active_mask(2013.0)
+                )
+            )
+            peak = pop.peak_simultaneous_usage(alloc, 2013.0)
+            assert 0 < peak <= active
+
+    def test_dynamic_labeler(self, tiny_internet):
+        pop = tiny_internet.population
+        labeler = pop.dynamic_labeler()
+        sample = pop.addresses[:1000]
+        labels = labeler(sample)
+        assert np.array_equal(labels.astype(bool), pop.dynamic[:1000])

@@ -1,0 +1,95 @@
+"""Census probing sources (IPING, TPING)."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.hosts import HostType
+from repro.sources.active import (
+    ICMP_RESPONSE,
+    TCP_RESPONSE,
+    icmp_census,
+    tcp_census,
+)
+
+
+class TestResponseModel:
+    def test_servers_most_icmp_responsive(self):
+        assert ICMP_RESPONSE[HostType.SERVER] == ICMP_RESPONSE.max()
+
+    def test_clients_mostly_firewalled(self):
+        assert ICMP_RESPONSE[HostType.CLIENT] < 0.5
+        assert TCP_RESPONSE[HostType.CLIENT] < 0.1
+
+    def test_specialised_prefer_tcp(self):
+        """The paper's 15-20 M TCP-only responders: specialised
+        devices answer on service ports, not ICMP."""
+        assert TCP_RESPONSE[HostType.SPECIALISED] > ICMP_RESPONSE[
+            HostType.SPECIALISED
+        ]
+
+
+class TestCensusCollection:
+    def test_census_times_every_six_months(self, tiny_internet):
+        iping = icmp_census(tiny_internet.population, seed=1)
+        times = iping.census_times(2012.0, 2013.0)
+        assert len(times) == 2
+        assert times[1] - times[0] == pytest.approx(0.5)
+
+    def test_tping_starts_march_2012(self, tiny_internet):
+        tping = tcp_census(tiny_internet.population, seed=1)
+        assert tping.census_times(2011.0, 2012.0) == []
+        assert tping.census_times(2012.0, 2013.0) != []
+
+    def test_window_without_census_empty(self, tiny_internet):
+        iping = icmp_census(tiny_internet.population, seed=1)
+        # A window strictly between two census epochs.
+        assert len(iping.collect(2012.7, 2013.1)) == 0
+
+    def test_responders_subset_of_population(self, tiny_internet):
+        iping = icmp_census(tiny_internet.population, seed=1)
+        seen = iping.collect(2013.5, 2014.5)
+        assert tiny_internet.population.used_ipset(2013.5, 2014.5).contains(
+            seen.addresses
+        ).all()
+
+    def test_persistent_openness_overlap(self, tiny_internet):
+        """Two consecutive censuses mostly see the same hosts."""
+        iping = icmp_census(tiny_internet.population, seed=1)
+        c1 = iping.collect(2013.0, 2013.5)
+        c2 = iping.collect(2013.5, 2014.0)
+        overlap = c1.overlap_count(c2) / min(len(c1), len(c2))
+        assert overlap > 0.75
+
+    def test_server_bias(self, tiny_internet):
+        """Servers respond at a much higher rate than clients."""
+        pop = tiny_internet.population
+        iping = icmp_census(pop, seed=1)
+        seen = iping.collect(2013.5, 2014.5)
+        active = pop.used_in_window(2013.5, 2014.5)
+        seen_mask = seen.contains(pop.addresses)
+        servers = active & (pop.host_type == HostType.SERVER)
+        clients = active & (pop.host_type == HostType.CLIENT)
+        server_rate = seen_mask[servers].mean()
+        client_rate = seen_mask[clients].mean()
+        assert server_rate > 1.5 * client_rate
+
+    def test_blocked_prefix_never_responds(self, tiny_internet):
+        networks = tiny_internet.ground_truth_networks()
+        blocked = networks[-1].allocation.prefix
+        iping = icmp_census(
+            tiny_internet.population, seed=1, blocked_prefixes=(blocked,)
+        )
+        seen = iping.collect(2011.0, 2014.5)
+        addrs = seen.addresses
+        inside = (addrs >= blocked.base) & (addrs < blocked.end)
+        assert not inside.any()
+
+    def test_determinism(self, tiny_internet):
+        a = icmp_census(tiny_internet.population, seed=9)
+        b = icmp_census(tiny_internet.population, seed=9)
+        assert a.collect(2012.0, 2013.0) == b.collect(2012.0, 2013.0)
+
+    def test_seed_changes_output(self, tiny_internet):
+        a = icmp_census(tiny_internet.population, seed=9)
+        b = icmp_census(tiny_internet.population, seed=10)
+        assert a.collect(2012.0, 2013.0) != b.collect(2012.0, 2013.0)

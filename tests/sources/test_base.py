@@ -1,0 +1,65 @@
+"""Source framework: quarters, availability, determinism."""
+
+import pytest
+
+from repro.sources.base import quarter_bounds, quarter_of
+
+
+class TestQuarters:
+    def test_quarter_of_origin(self):
+        assert quarter_of(2011.0) == 0
+        assert quarter_of(2011.25) == 1
+        assert quarter_of(2014.25) == 13
+
+    def test_quarter_of_interior(self):
+        assert quarter_of(2011.1) == 0
+        assert quarter_of(2011.9) == 3
+
+    def test_bounds_roundtrip(self):
+        for q in range(14):
+            start, end = quarter_bounds(q)
+            assert quarter_of(start) == q
+            assert quarter_of(end - 1e-6) == q
+            assert end - start == pytest.approx(0.25)
+
+
+class TestAvailability:
+    def test_available_in(self, tiny_sources):
+        spam = tiny_sources["SPAM"]  # starts May 2012
+        assert not spam.available_in(2011.0, 2012.0)
+        assert spam.available_in(2012.0, 2013.0)
+        assert spam.available_in(2013.5, 2014.5)
+
+    def test_calt_only_late(self, tiny_sources):
+        calt = tiny_sources["CALT"]
+        assert not calt.available_in(2011.0, 2012.0)
+        assert calt.available_in(2013.5, 2014.5)
+
+    def test_collect_empty_outside_availability(self, tiny_sources):
+        spam = tiny_sources["SPAM"]
+        assert len(spam.collect(2011.0, 2012.0)) == 0
+
+
+class TestDeterminism:
+    def test_collect_is_deterministic(self, tiny_sources):
+        web = tiny_sources["WEB"]
+        a = web.collect(2012.0, 2013.0)
+        b = web.collect(2012.0, 2013.0)
+        assert a == b
+
+    def test_overlapping_windows_consistent(self, tiny_sources):
+        """An address observed in a quarter appears in every window
+        covering that quarter — the log-accumulation semantics."""
+        web = tiny_sources["WEB"]
+        w1 = web.collect(2012.0, 2013.0)
+        w2 = web.collect(2012.5, 2013.5)
+        shared = web.collect(2012.5, 2013.0)
+        assert shared.addresses.size
+        assert (w1.contains(shared.addresses)).all()
+        assert (w2.contains(shared.addresses)).all()
+
+    def test_longer_window_superset(self, tiny_sources):
+        wiki = tiny_sources["WIKI"]
+        short = wiki.collect(2012.0, 2012.5)
+        long = wiki.collect(2012.0, 2013.0)
+        assert long.contains(short.addresses).all()

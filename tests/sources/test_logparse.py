@@ -1,0 +1,125 @@
+"""Log-file parsers."""
+
+import pytest
+
+from repro.ipspace.addresses import parse_addr
+from repro.sources.logparse import (
+    load_dataset,
+    parse_address_list,
+    parse_common_log,
+    parse_flow_csv,
+)
+
+CLF_LINES = [
+    '192.0.2.1 - - [10/Oct/2013:13:55:36 -0700] "GET / HTTP/1.1" 200 2326\n',
+    '198.51.100.7 - frank [10/Oct/2013:13:56:01 -0700] "POST /x" 404 12\n',
+    'bad line without address\n',
+    '192.0.2.1 - - [10/Oct/2013:14:00:00 -0700] "GET /a" 200 512\n',
+    '999.1.1.1 - - [...] "GET /" 200 1\n',  # out-of-range octet
+]
+
+FLOW_CSV = [
+    "ts,srcaddr,dstaddr,bytes\n",
+    "1,192.0.2.9,10.0.0.1,100\n",
+    "2,203.0.113.5,10.0.0.1,240\n",
+    "3,malformed,10.0.0.1,10\n",
+    "4,203.0.113.5,10.0.0.2,90\n",
+    "5,truncated\n",
+]
+
+LIST_LINES = [
+    "# ping census results\n",
+    "\n",
+    "192.0.2.77\n",
+    "192.0.2.77\n",
+    "not-an-address\n",
+    "203.0.113.200\n",
+]
+
+
+class TestCommonLog:
+    def test_extracts_client_addresses(self):
+        result = parse_common_log(CLF_LINES)
+        assert set(result.dataset) == {
+            parse_addr("192.0.2.1"), parse_addr("198.51.100.7")
+        }
+
+    def test_skip_accounting(self):
+        result = parse_common_log(CLF_LINES)
+        assert result.lines_read == 5
+        assert result.lines_skipped == 2  # bad line + out-of-range
+        assert result.skip_fraction == pytest.approx(0.4)
+
+    def test_empty_input(self):
+        result = parse_common_log([])
+        assert len(result.dataset) == 0 and result.skip_fraction == 0.0
+
+
+class TestFlowCsv:
+    def test_extracts_source_column(self):
+        result = parse_flow_csv(FLOW_CSV)
+        assert set(result.dataset) == {
+            parse_addr("192.0.2.9"), parse_addr("203.0.113.5")
+        }
+        assert result.lines_skipped == 2
+
+    def test_custom_column(self):
+        result = parse_flow_csv(FLOW_CSV, column="dstaddr")
+        assert parse_addr("10.0.0.1") in result.dataset
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ValueError):
+            parse_flow_csv(FLOW_CSV, column="nope")
+
+    def test_empty_file(self):
+        result = parse_flow_csv([])
+        assert len(result.dataset) == 0
+
+
+class TestAddressList:
+    def test_comments_and_blanks_silent(self):
+        result = parse_address_list(LIST_LINES)
+        assert set(result.dataset) == {
+            parse_addr("192.0.2.77"), parse_addr("203.0.113.200")
+        }
+        # Comments/blank lines are structure, not skipped garbage.
+        assert result.lines_skipped == 1  # only "not-an-address"
+
+
+class TestLoadDataset:
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "census.txt"
+        path.write_text("".join(LIST_LINES))
+        result = load_dataset(path, fmt="list")
+        assert len(result.dataset) == 2
+
+    def test_clf_via_file(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("".join(CLF_LINES))
+        result = load_dataset(path, fmt="clf")
+        assert len(result.dataset) == 2
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_dataset(path, fmt="pcap")
+
+    def test_end_to_end_estimation_from_logs(self, tmp_path, rng):
+        """Parsed logs feed CaptureRecapture directly."""
+        import numpy as np
+
+        from repro.core.estimator import CaptureRecapture
+        from repro.ipspace.addresses import format_addr
+
+        pop = rng.choice(2**30, 5000, replace=False).astype(np.uint32)
+        files = {}
+        for name, p in [("web", 0.5), ("flow", 0.4), ("census", 0.6)]:
+            seen = pop[rng.random(5000) < p]
+            path = tmp_path / f"{name}.txt"
+            path.write_text(
+                "\n".join(format_addr(a) for a in seen) + "\n"
+            )
+            files[name] = load_dataset(path, fmt="list").dataset
+        estimate = CaptureRecapture(files).estimate()
+        assert estimate.population == pytest.approx(5000, rel=0.1)

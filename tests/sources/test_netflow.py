@@ -1,0 +1,92 @@
+"""NetFlow sources and spoof injection."""
+
+import numpy as np
+
+from repro.sources.base import quarter_of
+from repro.sources.netflow import NetFlowSource
+
+
+def make_netflow(internet, **kwargs):
+    defaults = dict(
+        rate=0.2,
+        available_from=2011.0,
+        spoof_per_quarter=500_000,
+        spoof_support=internet.registry.allocated_space(),
+    )
+    defaults.update(kwargs)
+    return NetFlowSource("NF", internet.population, 3, **defaults)
+
+
+class TestLegitimatePart:
+    def test_legitimate_subset_of_collection(self, tiny_internet):
+        src = make_netflow(tiny_internet)
+        q = quarter_of(2013.0)
+        legit = np.unique(src.legitimate_quarter(q))
+        full = src.quarter_set(q)
+        assert np.isin(legit, full).all()
+
+    def test_legit_part_is_truth_subset(self, tiny_internet):
+        src = make_netflow(tiny_internet)
+        q = quarter_of(2013.0)
+        legit = np.unique(src.legitimate_quarter(q))
+        truth = tiny_internet.population.used_ipset(2011.0, 2013.25)
+        assert truth.contains(legit).all()
+
+    def test_broad_type_coverage(self, tiny_internet):
+        """NetFlow sees servers and routers, unlike pure log sources."""
+        from repro.simnet.hosts import HostType
+
+        pop = tiny_internet.population
+        src = make_netflow(tiny_internet, rate=0.5, spoof_per_quarter=0)
+        seen = src.collect(2013.5, 2014.5)
+        mask = seen.contains(pop.addresses)
+        for host_type in (HostType.SERVER, HostType.ROUTER):
+            active = pop.used_in_window(2013.5, 2014.5) & (
+                pop.host_type == host_type
+            )
+            assert mask[active].mean() > 0.1
+
+
+class TestSpoofInjection:
+    def test_spoofs_add_foreign_addresses(self, tiny_internet):
+        clean = make_netflow(tiny_internet, spoof_per_quarter=0)
+        dirty = make_netflow(tiny_internet, spoof_per_quarter=2_000_000)
+        q = quarter_of(2013.0)
+        assert dirty.quarter_set(q).size > clean.quarter_set(q).size
+
+    def test_spike_quarter(self, tiny_internet):
+        # rate=0 isolates the spoofed component so the spike is visible
+        # regardless of how big the legitimate population is.
+        src = make_netflow(
+            tiny_internet,
+            rate=0.0,
+            spoof_per_quarter=10_000_000,
+            spoof_spike_quarter=quarter_of(2014.25),
+            spoof_spike_factor=10.0,
+        )
+        normal = src.quarter_set(quarter_of(2013.75))
+        spiked = src.quarter_set(quarter_of(2014.25))
+        assert spiked.size > 5 * normal.size
+
+    def test_spoofs_inside_support(self, tiny_internet):
+        support = tiny_internet.registry.allocated_space()
+        src = make_netflow(tiny_internet, rate=0.0, spoof_per_quarter=3_000_000)
+        seen = src.collect(2013.0, 2013.25)
+        assert support.contains(seen.addresses).all()
+
+    def test_spoof_density_uniform_over_support(self, tiny_internet):
+        """Spoofed addresses spread evenly per unit of space — the
+        assumption the paper's filter rests on."""
+        src = make_netflow(tiny_internet, rate=0.0, spoof_per_quarter=8_000_000)
+        seen = src.collect(2013.0, 2014.0).addresses
+        support = tiny_internet.registry.allocated_space()
+        # Compare densities in the two halves of the support.
+        pieces = list(support.intervals())
+        half = len(pieces) // 2
+        size1 = sum(e - s for s, e in pieces[:half])
+        size2 = sum(e - s for s, e in pieces[half:])
+        boundary = pieces[half][0]
+        count1 = int((seen < boundary).sum())
+        count2 = len(seen) - count1
+        d1, d2 = count1 / size1, count2 / size2
+        assert 0.8 < d1 / d2 < 1.25

@@ -1,0 +1,79 @@
+"""Passive log sources."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.hosts import HostType
+from repro.sources.passive import CLIENT_AFFINITY, LogSource
+
+
+class TestAffinity:
+    def test_client_biased(self):
+        assert CLIENT_AFFINITY[HostType.CLIENT] == CLIENT_AFFINITY.max()
+        assert CLIENT_AFFINITY[HostType.SPECIALISED] == 0.0
+
+    def test_affinity_shape_validated(self, tiny_internet):
+        with pytest.raises(ValueError):
+            LogSource(
+                "X", tiny_internet.population, 1, rate=0.1,
+                available_from=2011.0, affinity=np.array([1.0, 2.0]),
+            )
+
+
+class TestSampling:
+    def make(self, internet, **kwargs):
+        defaults = dict(rate=0.05, available_from=2011.0)
+        defaults.update(kwargs)
+        return LogSource("X", internet.population, 7, **defaults)
+
+    def test_higher_rate_sees_more(self, tiny_internet):
+        small = self.make(tiny_internet, rate=0.01).collect(2013.0, 2014.0)
+        big = self.make(tiny_internet, rate=0.2).collect(2013.0, 2014.0)
+        assert len(big) > 2 * len(small)
+
+    def test_specialised_never_sampled(self, tiny_internet):
+        pop = tiny_internet.population
+        seen = self.make(tiny_internet, rate=0.5).collect(2011.0, 2014.5)
+        mask = seen.contains(pop.addresses)
+        assert not mask[pop.host_type == HostType.SPECIALISED].any()
+
+    def test_activity_drives_capture(self, tiny_internet):
+        """High-activity hosts are far more likely to be logged."""
+        pop = tiny_internet.population
+        seen = self.make(tiny_internet, rate=0.05).collect(2013.0, 2014.0)
+        mask = seen.contains(pop.addresses)
+        clients = pop.used_in_window(2013.0, 2014.0) & (
+            pop.host_type == HostType.CLIENT
+        )
+        act = pop.activity
+        busy = clients & (act > np.quantile(act[clients], 0.9))
+        quiet = clients & (act < np.quantile(act[clients], 0.2))
+        assert mask[busy].mean() > 3 * max(mask[quiet].mean(), 1e-4)
+
+    def test_rate_growth(self, tiny_internet):
+        src = self.make(
+            tiny_internet, rate=0.05, yearly_rate_growth=1.0
+        )
+        early = src.collect(2011.0, 2012.0)
+        late = src.collect(2013.5, 2014.5)
+        assert len(late) > 1.5 * len(early)
+
+    def test_inactive_hosts_never_observed(self, tiny_internet):
+        """Addresses not yet activated cannot appear in logs."""
+        pop = tiny_internet.population
+        seen = self.make(tiny_internet, rate=0.5).collect(2011.0, 2012.0)
+        mask = seen.contains(pop.addresses)
+        future = pop.active_from >= 2012.0
+        assert not mask[future].any()
+
+    def test_shared_activity_creates_source_dependence(self, tiny_internet):
+        """Two log sources overlap far more than independence predicts
+        — the apparent dependence of Section 3.2.2."""
+        pop = tiny_internet.population
+        a = LogSource("A", pop, 1, rate=0.05, available_from=2011.0)
+        b = LogSource("B", pop, 2, rate=0.05, available_from=2011.0)
+        da = a.collect(2013.5, 2014.5)
+        db = b.collect(2013.5, 2014.5)
+        union_universe = pop.used_count(2013.5, 2014.5)
+        expected_indep = len(da) * len(db) / union_universe
+        assert da.overlap_count(db) > 2 * expected_indep

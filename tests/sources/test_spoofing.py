@@ -1,0 +1,65 @@
+"""Spoof traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.ipspace.intervals import IntervalSet
+from repro.sources.spoofing import (
+    ddos_campaign_sizes,
+    draw_spoofed_addresses,
+    draw_spoofed_in_space,
+)
+
+
+class TestDrawSpoofed:
+    def test_count_and_dtype(self, rng):
+        addrs = draw_spoofed_addresses(rng, 1000)
+        assert addrs.dtype == np.uint32 and len(addrs) == 1000
+
+    def test_zero(self, rng):
+        assert len(draw_spoofed_addresses(rng, 0)) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            draw_spoofed_addresses(rng, -1)
+
+    def test_roughly_uniform(self, rng):
+        addrs = draw_spoofed_addresses(rng, 100_000)
+        top_bit = (addrs >= 2**31).mean()
+        assert 0.48 < top_bit < 0.52
+
+
+class TestDrawInSpace:
+    def test_all_inside_support(self, rng):
+        support = IntervalSet([(1000, 2000), (10_000, 20_000)])
+        addrs = draw_spoofed_in_space(rng, 50_000_000, support)
+        assert support.contains(addrs).all()
+
+    def test_count_binomial_of_density(self, rng):
+        support = IntervalSet([(0, 2**22)])  # 1/1024 of the space
+        full = 10_240_000
+        addrs = draw_spoofed_in_space(rng, full, support)
+        expected = full / 1024
+        assert expected * 0.9 < len(addrs) < expected * 1.1
+
+    def test_density_split_across_intervals(self, rng):
+        support = IntervalSet([(0, 2**20), (2**30, 2**30 + 2**20)])
+        addrs = draw_spoofed_in_space(rng, 2_000_000_000, support)
+        low = int((addrs < 2**20).sum())
+        high = len(addrs) - low
+        assert 0.85 < low / high < 1.18
+
+    def test_empty_support(self, rng):
+        assert len(draw_spoofed_in_space(rng, 100, IntervalSet())) == 0
+
+
+class TestCampaigns:
+    def test_spike_applied(self, rng):
+        sizes = ddos_campaign_sizes(rng, 1000, 10, spike_quarter=5,
+                                    spike_factor=20.0)
+        assert sizes[5] > 5 * np.median(np.delete(sizes, 5))
+
+    def test_no_spike(self, rng):
+        sizes = ddos_campaign_sizes(rng, 1000, 8)
+        assert len(sizes) == 8
+        assert (sizes > 0).all()

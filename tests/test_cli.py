@@ -1,0 +1,87 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_window_parsing(self):
+        args = build_parser().parse_args(
+            ["estimate", "--window", "2012.0:2013.0"]
+        )
+        assert args.window.start == 2012.0 and args.window.end == 2013.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--window", "bogus"])
+
+    def test_scale_default(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scale_log2 == -12
+
+
+class TestCommands:
+    """Each command runs end to end on a very small Internet."""
+
+    ARGS = ["--scale-log2", "-14", "--seed", "3"]
+
+    def test_simulate(self, capsys):
+        assert main(self.ARGS + ["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "routed" in out and "used addrs" in out
+
+    def test_estimate(self, capsys):
+        assert main(self.ARGS + ["estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated" in out and "est/ping" in out
+
+    def test_crossval(self, capsys):
+        assert main(self.ARGS + ["crossval"]) == 0
+        out = capsys.readouterr().out
+        assert "held-out" in out and "IPING" in out
+
+    def test_supply(self, capsys):
+        assert main(self.ARGS + ["supply"]) == 0
+        out = capsys.readouterr().out
+        assert "World" in out and "runout" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(self.ARGS + ["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped source" in out and "robust" in out
+
+    def test_churn(self, capsys):
+        assert main(self.ARGS + ["churn", "--clients", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "post-saturation" in out
+
+
+class TestEstimateFiles:
+    def make_files(self, tmp_path, rng):
+        import numpy as np
+
+        from repro.ipspace.addresses import format_addr
+
+        pop = rng.choice(2**30, 4000, replace=False).astype(np.uint32)
+        paths = []
+        for name, p in [("alpha", 0.5), ("beta", 0.45), ("gamma", 0.4)]:
+            seen = pop[rng.random(4000) < p]
+            path = tmp_path / f"{name}.txt"
+            path.write_text("\n".join(format_addr(a) for a in seen) + "\n")
+            paths.append(str(path))
+        return paths
+
+    def test_estimate_files(self, capsys, tmp_path, rng):
+        paths = self.make_files(tmp_path, rng)
+        assert main(["estimate-files", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "parsed datasets" in out and "estimate:" in out
+
+    def test_estimate_files_needs_two(self, capsys, tmp_path, rng):
+        paths = self.make_files(tmp_path, rng)
+        assert main(["estimate-files", paths[0]]) == 2

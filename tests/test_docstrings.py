@@ -1,0 +1,73 @@
+"""Documentation contract: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.ipspace",
+    "repro.registry",
+    "repro.simnet",
+    "repro.sources",
+    "repro.filtering",
+    "repro.analysis",
+    "repro.data",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name == "__main__":
+                continue
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their origin
+        yield name, obj
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in iter_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for name, obj in public_members(module):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert undocumented == []
+
+    def test_public_methods_documented(self):
+        undocumented = []
+        for module in iter_modules():
+            for cls_name, cls in public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_") or not inspect.isfunction(member):
+                        continue
+                    if not (member.__doc__ or "").strip():
+                        undocumented.append(
+                            f"{module.__name__}.{cls_name}.{name}"
+                        )
+        assert undocumented == []

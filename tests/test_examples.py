@@ -1,0 +1,47 @@
+"""The example scripts stay runnable (they are part of the API surface)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "log-linear CR estimate" in out
+        assert "true population" in out
+
+    def test_dhcp_churn_study(self):
+        out = run_example("dhcp_churn_study.py")
+        assert "after saturation" in out
+        assert "/24 datasets are robust" in out
+
+    def test_federated_estimate(self):
+        out = run_example("federated_estimate.py")
+        assert "federated == plaintext" in out
+
+    def test_census_campaign_small(self):
+        out = run_example("census_campaign.py", "--scale-log2", "-14")
+        assert "estimated growth" in out
+        assert "Used IPv4 addresses per window" in out
+
+    def test_model_inspection(self):
+        out = run_example("model_inspection.py")
+        assert "stepwise selection path" in out
+        assert "leave-one-out leverage" in out
+        assert "bootstrap SE" in out
