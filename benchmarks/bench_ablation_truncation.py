@@ -8,14 +8,11 @@ overlapping blocks the Poisson estimate can explode past the block size
 while the truncated one stays plausible.
 """
 
-import numpy as np
-
 from repro.analysis.report import format_table
 from repro.core.histories import tabulate_histories
 from repro.core.loglinear import LoglinearModel
 from repro.core.selection import select_model
 from repro.ipspace.intervals import IntervalSet
-from repro.ipspace.ipset import IPSet
 
 
 def run(pipeline, internet, window):

@@ -7,7 +7,7 @@ NetFlow at all.  The paper's pattern: unfiltered estimates blow up
 no-NetFlow estimates.
 """
 
-from repro.analysis.pipeline import EstimationPipeline, PipelineOptions
+from repro.analysis.pipeline import EstimationPipeline
 from repro.analysis.report import format_table
 from repro.analysis.windows import TimeWindow
 from repro.core.estimator import CaptureRecapture, EstimatorOptions

@@ -6,8 +6,6 @@ allocations grow the most, both absolutely and relatively, while old
 legacy space still shows some growth.
 """
 
-import numpy as np
-
 from repro.analysis.growth import stratified_yearly_growth
 from repro.analysis.report import fmt_real_millions, format_table
 from benchmarks.conftest import BENCH_SCALE

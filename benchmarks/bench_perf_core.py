@@ -5,7 +5,14 @@ these time the substrate operations that dominate a full pipeline run:
 IPSet algebra, capture-history tabulation, Poisson IRLS fits and
 vacancy histograms.  They guard against performance regressions — a
 full 11-window campaign runs hundreds of each.
+
+``test_perf_window_sweep_parallel`` exercises the staged engine
+end-to-end: serial vs process-pool window sweep, asserting bit-identical
+results always and a >=1.5x speedup when the machine has >=4 cores.
 """
+
+import os
+from time import perf_counter
 
 import numpy as np
 import pytest
@@ -82,3 +89,56 @@ def test_perf_vacancy_histogram(benchmark):
     universe = IntervalSet([(0, 2**28)])
     hist = benchmark(lambda: vacant_block_histogram(used, universe))
     assert hist.sum() > 0
+
+
+def test_perf_window_sweep_parallel():
+    """Serial vs parallel window sweep through the staged engine.
+
+    Bit-identity is asserted unconditionally; the speedup bound only on
+    machines with enough cores to make it meaningful.
+    """
+    from repro.analysis.windows import TimeWindow
+    from repro.engine import Executor
+    from repro.simnet.internet import SimulationConfig, SyntheticInternet
+
+    windows = [
+        TimeWindow(2011.0, 2012.0),
+        TimeWindow(2012.0, 2013.0),
+        TimeWindow(2013.0, 2014.0),
+        TimeWindow(2013.5, 2014.5),
+    ]
+    internet = SyntheticInternet(SimulationConfig(scale=2.0**-13, seed=20140630))
+    cores = os.cpu_count() or 1
+
+    serial = Executor(internet)
+    start = perf_counter()
+    serial_results = serial.run_windows(windows, workers=1)
+    serial_seconds = perf_counter() - start
+
+    parallel = Executor(internet)
+    start = perf_counter()
+    parallel_results = parallel.run_windows(windows, workers=min(4, cores))
+    parallel_seconds = perf_counter() - start
+
+    for s, p in zip(serial_results, parallel_results):
+        assert s.estimate_addresses.population == p.estimate_addresses.population
+        assert s.estimate_subnets.population == p.estimate_subnets.population
+        for name in s.datasets:
+            assert np.array_equal(
+                s.datasets[name].addresses, p.datasets[name].addresses
+            )
+
+    stats = serial.report.to_dict()
+    print(
+        f"\nwindow sweep: serial {serial_seconds:.2f}s, "
+        f"parallel({min(4, cores)}) {parallel_seconds:.2f}s on {cores} cores; "
+        f"serial engine: {stats['cache_hits']} cache hits / "
+        f"{stats['cache_misses']} misses"
+    )
+    assert stats["cache_misses"] > 0
+    assert serial.report.cache_hits >= len(windows)  # datasets reused per window
+    if cores >= 4:
+        assert serial_seconds / parallel_seconds >= 1.5, (
+            f"expected >=1.5x speedup, got "
+            f"{serial_seconds / parallel_seconds:.2f}x"
+        )

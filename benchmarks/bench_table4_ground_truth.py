@@ -11,7 +11,6 @@ Poisson beats the plain Poisson.
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.core.estimator import CaptureRecapture, EstimatorOptions
 from repro.core.selection import select_model
 from repro.core.histories import tabulate_histories
 from repro.core.loglinear import LoglinearModel

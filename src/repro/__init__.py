@@ -36,6 +36,7 @@ from repro.core import (
     tabulate_histories,
 )
 from repro.ipspace import IntervalSet, IPSet, Prefix, PrefixTrie
+from repro.engine import ArtifactCache, Executor, RunReport
 from repro.analysis import (
     EstimationPipeline,
     PipelineOptions,
@@ -48,10 +49,13 @@ from repro.sources import build_standard_sources
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "CaptureRecapture",
     "ContingencyTable",
     "EstimationPipeline",
     "EstimatorOptions",
+    "Executor",
+    "RunReport",
     "IPSet",
     "IntervalSet",
     "LoglinearModel",

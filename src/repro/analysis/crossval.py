@@ -11,14 +11,21 @@ profile ranges normalised by the truth reproduce Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.histories import tabulate_within_universe
 from repro.core.profile_ci import profile_likelihood_interval
 from repro.core.selection import select_model
+from repro.engine.executor import fan_out
+from repro.engine.report import RunReport
 from repro.ipspace.ipset import IPSet
+
+if TYPE_CHECKING:
+    from repro.analysis.windows import TimeWindow
+    from repro.engine.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -102,19 +109,44 @@ def cross_validate_all(
     divisor: int | str = "adaptive1000",
     max_order: int = 2,
     with_range: bool = False,
+    workers: int = 1,
+    report: RunReport | None = None,
 ) -> list[CrossValidationResult]:
-    """Cross-validate every source in turn."""
-    return [
-        cross_validate_source(
-            datasets,
-            name,
-            criterion=criterion,
-            divisor=divisor,
-            max_order=max_order,
-            with_range=with_range,
-        )
-        for name in datasets
-    ]
+    """Cross-validate every source in turn.
+
+    The folds are independent; ``workers > 1`` fans them out across
+    the engine's process pool.  Results always come back in source
+    order, so parallel and serial runs are bit-identical.
+    """
+    func = partial(
+        cross_validate_source,
+        criterion=criterion,
+        divisor=divisor,
+        max_order=max_order,
+        with_range=with_range,
+    )
+    return fan_out(
+        dict(datasets), func, list(datasets),
+        workers=workers, report=report, stage="crossval",
+    )
+
+
+def cross_validate_window(
+    engine: "Executor",
+    window: "TimeWindow",
+    workers: int = 1,
+    **kwargs,
+) -> list[CrossValidationResult]:
+    """Cross-validate one window straight off the engine's artifacts.
+
+    Accepts an :class:`~repro.engine.executor.Executor` or anything
+    exposing one as ``.engine`` (e.g. ``EstimationPipeline``); fold
+    records land in the engine's :class:`RunReport`.
+    """
+    engine = getattr(engine, "engine", engine)
+    return cross_validate_all(
+        engine.datasets(window), workers=workers, report=engine.report, **kwargs
+    )
 
 
 @dataclass(frozen=True)
@@ -140,26 +172,52 @@ TABLE3_SETTINGS: tuple[tuple[str, str, int | str], ...] = (
 )
 
 
+def _sweep_fold_error(
+    window_datasets: Sequence[Mapping[str, IPSet]],
+    task: tuple[int, str, str, int | str, int],
+) -> float:
+    """One fold of the sweep grid (module-level so it pickles)."""
+    window_index, name, criterion, divisor, max_order = task
+    return cross_validate_source(
+        window_datasets[window_index],
+        name,
+        criterion=criterion,
+        divisor=divisor,
+        max_order=max_order,
+    ).error
+
+
 def sweep_selection_settings(
     window_datasets: Sequence[Mapping[str, IPSet]],
     settings: Sequence[tuple[str, str, int | str]] = TABLE3_SETTINGS,
     max_order: int = 2,
+    workers: int = 1,
+    report: RunReport | None = None,
 ) -> list[SettingSweepRow]:
     """Cross-validation error per model-selection setting (Table 3).
 
     ``window_datasets`` holds the per-window dataset mappings (the
     paper uses every window except the first); errors aggregate over
-    all sources and windows.
+    all sources and windows.  The full (setting x window x fold) grid
+    is independent, so ``workers > 1`` fans every fold out at once;
+    errors aggregate in grid order either way.
     """
+    tasks = [
+        (wi, name, criterion, divisor, max_order)
+        for label, criterion, divisor in settings
+        for wi, datasets in enumerate(window_datasets)
+        for name in datasets
+    ]
+    errors = fan_out(
+        tuple(window_datasets), _sweep_fold_error, tasks,
+        workers=workers, report=report, stage="sweep",
+    )
     rows = []
+    cursor = 0
+    per_setting = sum(len(d) for d in window_datasets)
     for label, criterion, divisor in settings:
-        errors: list[float] = []
-        for datasets in window_datasets:
-            for result in cross_validate_all(
-                datasets, criterion=criterion, divisor=divisor, max_order=max_order
-            ):
-                errors.append(result.error)
-        arr = np.asarray(errors, dtype=np.float64)
+        arr = np.asarray(errors[cursor:cursor + per_setting], dtype=np.float64)
+        cursor += per_setting
         rows.append(
             SettingSweepRow(
                 setting=label,

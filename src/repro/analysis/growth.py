@@ -58,6 +58,25 @@ def linear_growth_per_year(times: np.ndarray, series: np.ndarray) -> float:
     return float(slope)
 
 
+def growth_series(
+    pipeline: EstimationPipeline,
+    windows: Sequence[TimeWindow] | None = None,
+    level: str = "addresses",
+    workers: int = 1,
+) -> GrowthSeries:
+    """The Figure 4/5 series straight off the engine.
+
+    Submits the window sweep to the pipeline's engine (fanning windows
+    across processes with ``workers > 1``) instead of looping by hand;
+    bit-identical to a serial sweep by the engine's determinism
+    contract.
+    """
+    results = pipeline.run_all(
+        list(windows) if windows is not None else None, workers=workers
+    )
+    return series_from_results(results, level=level)
+
+
 def series_from_results(
     results: Sequence[WindowResult], level: str = "addresses"
 ) -> GrowthSeries:
@@ -125,6 +144,7 @@ def stratified_yearly_growth(
     last_window: TimeWindow,
     level: str = "addresses",
     min_observed: float = 0.0,
+    workers: int = 1,
 ) -> list[StratumGrowth]:
     """Average yearly growth per stratum between two windows.
 
@@ -132,14 +152,15 @@ def stratified_yearly_growth(
     period, which the endpoint difference divided by elapsed years
     gives directly.  Strata observed below ``min_observed`` (in the
     last window) are dropped, mirroring the paper's cut of small
-    countries.
+    countries.  ``workers`` fans the per-stratum fits out on the
+    engine's thread pool.
     """
     if level == "addresses":
-        first = pipeline.stratified_addresses(first_window, kind)
-        last = pipeline.stratified_addresses(last_window, kind)
+        first = pipeline.stratified_addresses(first_window, kind, workers=workers)
+        last = pipeline.stratified_addresses(last_window, kind, workers=workers)
     elif level == "subnets":
-        first = pipeline.stratified_subnets(first_window, kind)
-        last = pipeline.stratified_subnets(last_window, kind)
+        first = pipeline.stratified_subnets(first_window, kind, workers=workers)
+        last = pipeline.stratified_subnets(last_window, kind, workers=workers)
     else:
         raise ValueError(f"unknown level {level!r}")
     years = last_window.end - first_window.end

@@ -1,4 +1,4 @@
-"""End-to-end estimation pipeline.
+"""End-to-end estimation pipeline (facade over the staged engine).
 
 One object orchestrates the paper's whole measurement flow per window:
 collect each available source, preprocess to routed space, spoof-filter
@@ -6,70 +6,41 @@ the NetFlow datasets, tabulate capture histories, run model selection
 and produce estimates at both address and /24 granularity — together
 with the routed-space denominators and (simulation privilege) the
 ground truth.
+
+Since the engine refactor the pipeline no longer orchestrates by hand:
+every step is a named stage resolved through
+:class:`repro.engine.Executor`, whose unified artifact cache replaces
+the old per-pipeline result dicts and whose process/thread pools fan
+independent windows and strata out (``run_all(workers=...)``).  The
+per-stage instrumentation of a run is available as :attr:`report`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
-import numpy as np
-
 from repro.core.estimator import CaptureRecapture, EstimatorOptions
-from repro.core.loglinear import PopulationEstimate
 from repro.core.stratified import StratifiedEstimate
-from repro.filtering.preprocess import preprocess_dataset
-from repro.filtering.spoof_filter import SpoofFilter, detect_empty_blocks
+from repro.engine.executor import Executor
+from repro.engine.report import RunReport
+from repro.engine.stages import (
+    NETFLOW_SOURCES,
+    SPOOF_FREE_REFERENCES,
+    PipelineOptions,
+    WindowResult,
+)
 from repro.ipspace.ipset import IPSet
 from repro.analysis.windows import TimeWindow, standard_windows
 from repro.simnet.internet import SyntheticInternet
 from repro.sources.base import MeasurementSource
-from repro.sources.catalog import build_standard_sources
 
-#: Sources the paper treats as spoof-free references for the filter.
-SPOOF_FREE_REFERENCES = ("WIKI", "WEB", "MLAB", "GAME")
-#: Sources that need spoof filtering.
-NETFLOW_SOURCES = ("SWIN", "CALT")
-
-
-@dataclass(frozen=True)
-class PipelineOptions:
-    """Pipeline-wide configuration (paper defaults)."""
-
-    criterion: str = "bic"
-    divisor: int | str = "adaptive1000"
-    distribution: str = "truncated"
-    max_order: int = 2
-    spoof_filtering: bool = True
-    exclude_sources: tuple[str, ...] = ()
-    min_stratum_observed: int = 30
-    seed: int = 77
-
-
-@dataclass
-class WindowResult:
-    """Everything the paper reports about one observation window."""
-
-    window: TimeWindow
-    datasets: dict[str, IPSet]
-    routed_addresses: int
-    routed_subnets: int
-    observed_addresses: int
-    observed_subnets: int
-    ping_addresses: int
-    ping_subnets: int
-    estimate_addresses: PopulationEstimate
-    estimate_subnets: PopulationEstimate
-    truth_addresses: int
-    truth_subnets: int
-
-    @property
-    def estimated_addresses(self) -> float:
-        return self.estimate_addresses.population
-
-    @property
-    def estimated_subnets(self) -> float:
-        return self.estimate_subnets.population
+__all__ = [
+    "EstimationPipeline",
+    "PipelineOptions",
+    "WindowResult",
+    "SPOOF_FREE_REFERENCES",
+    "NETFLOW_SOURCES",
+]
 
 
 class EstimationPipeline:
@@ -80,85 +51,30 @@ class EstimationPipeline:
         internet: SyntheticInternet,
         sources: Mapping[str, MeasurementSource] | None = None,
         options: PipelineOptions | None = None,
+        *,
+        engine: Executor | None = None,
     ) -> None:
-        self.internet = internet
-        self.options = options or PipelineOptions()
-        self.sources: dict[str, MeasurementSource] = dict(
-            sources if sources is not None else build_standard_sources(internet)
-        )
-        for name in self.options.exclude_sources:
-            self.sources.pop(name, None)
-        self._dataset_cache: dict[tuple[float, float, bool], dict[str, IPSet]] = {}
-        self._result_cache: dict[tuple[float, float], WindowResult] = {}
+        self.engine = engine or Executor(internet, sources, options)
+        self.internet = self.engine.internet
+        self.options = self.engine.options
+        self.sources = self.engine.sources
+
+    @property
+    def report(self) -> RunReport:
+        """Per-stage instrumentation accumulated by this pipeline's runs."""
+        return self.engine.report
 
     # -- dataset assembly -------------------------------------------------
 
     def raw_datasets(self, window: TimeWindow) -> dict[str, IPSet]:
         """Per-source raw collections for the window (available only)."""
-        return {
-            name: source.collect(window.start, window.end)
-            for name, source in self.sources.items()
-            if source.available_in(window.start, window.end)
-        }
+        return self.engine.run("collect", window)
 
     def datasets(
         self, window: TimeWindow, spoof_filtering: bool | None = None
     ) -> dict[str, IPSet]:
         """Preprocessed (and optionally spoof-filtered) window datasets."""
-        if spoof_filtering is None:
-            spoof_filtering = self.options.spoof_filtering
-        key = (window.start, window.end, spoof_filtering)
-        if key in self._dataset_cache:
-            return self._dataset_cache[key]
-        routed = self.internet.routing.window(window.start, window.end)
-        processed = {
-            name: preprocess_dataset(raw, routed).dataset
-            for name, raw in self.raw_datasets(window).items()
-        }
-        # A source whose window data preprocesses to nothing carries no
-        # capture information and only degrades the model (all-zero
-        # margins); treat it as unavailable.
-        processed = {name: d for name, d in processed.items() if len(d)}
-        if spoof_filtering:
-            processed = self._spoof_filter(processed, window)
-        self._dataset_cache[key] = processed
-        return processed
-
-    def _spoof_filter(
-        self, datasets: dict[str, IPSet], window: TimeWindow
-    ) -> dict[str, IPSet]:
-        refs = [
-            datasets[name] for name in SPOOF_FREE_REFERENCES if name in datasets
-        ]
-        suspects = [name for name in NETFLOW_SOURCES if name in datasets]
-        if not refs or not suspects:
-            return datasets
-        reference = refs[0].union(*refs[1:])
-        routed = self.internet.routing.window(window.start, window.end)
-        candidates = [
-            a.prefix
-            for a in self.internet.registry
-            if a.routed_from < window.end
-        ]
-        # Detect the calibration blocks from the union of suspects:
-        # spoofs from every NetFlow vantage light up the same dark
-        # space, and pooling them makes detection robust at small scale.
-        suspect_union = datasets[suspects[0]].union(
-            *(datasets[name] for name in suspects[1:])
-        )
-        empty = detect_empty_blocks(suspect_union, reference, candidates)
-        if not empty:
-            return datasets
-        result = dict(datasets)
-        for name in suspects:
-            spoof_filter = SpoofFilter(
-                reference,
-                routed,
-                empty,
-                seed=self.options.seed + hash(name) % 1000,
-            )
-            result[name] = spoof_filter.apply(datasets[name]).filtered
-        return result
+        return self.engine.datasets(window, spoof_filtering)
 
     # -- estimation ---------------------------------------------------------
 
@@ -190,66 +106,51 @@ class EstimationPipeline:
 
     def run_window(self, window: TimeWindow) -> WindowResult:
         """Full observed/estimated/truth bundle for one window."""
-        key = (window.start, window.end)
-        if key in self._result_cache:
-            return self._result_cache[key]
-        datasets = self.datasets(window)
-        union = IPSet.empty().union(*datasets.values())
-        ping = datasets.get("IPING", IPSet.empty())
-        addr_est = self.address_estimator(window).estimate()
-        sub_est = self.subnet_estimator(window).estimate()
-        result = WindowResult(
-            window=window,
-            datasets=datasets,
-            routed_addresses=self.internet.routing.size(window.start, window.end),
-            routed_subnets=self.internet.routing.subnet24_count(
-                window.start, window.end
-            ),
-            observed_addresses=len(union),
-            observed_subnets=len(union.subnets24()),
-            ping_addresses=len(ping),
-            ping_subnets=len(ping.subnets24()),
-            estimate_addresses=addr_est,
-            estimate_subnets=sub_est,
-            truth_addresses=self.internet.truth_used_addresses(
-                window.start, window.end
-            ),
-            truth_subnets=self.internet.truth_used_subnets(
-                window.start, window.end
-            ),
-        )
-        self._result_cache[key] = result
-        return result
+        return self.engine.window_result(window)
 
-    def run_all(self, windows: list[TimeWindow] | None = None) -> list[WindowResult]:
-        """Run every window (the paper's 11 by default)."""
-        return [self.run_window(w) for w in (windows or standard_windows())]
+    def run_all(
+        self,
+        windows: list[TimeWindow] | None = None,
+        workers: int = 1,
+    ) -> list[WindowResult]:
+        """Run every window (the paper's 11 by default).
+
+        ``workers > 1`` fans whole windows out across a process pool;
+        results are bit-identical to a serial run with the same seed
+        (see ``docs/ENGINE.md``).
+        """
+        return self.engine.run_windows(windows or standard_windows(), workers)
 
     # -- stratified views --------------------------------------------------------
 
     def stratified_addresses(
-        self, window: TimeWindow, kind: str
+        self, window: TimeWindow, kind: str, workers: int = 1
     ) -> StratifiedEstimate:
         """Per-stratum address estimates summed to a total (Table 5).
 
         ``kind`` is a registry stratification (``"rir"``,
         ``"country"``, ``"prefix"``, ``"age"``, ``"industry"``) or
-        ``"dynamic"`` for the static/dynamic split.
+        ``"dynamic"`` for the static/dynamic split.  ``workers``
+        fans the independent strata out on a thread pool.
         """
-        labeler = self._labeler(kind)
-        limits = self._stratum_limits(window, kind)
-        return self.address_estimator(window).estimate_stratified(
-            labeler, limit_per_stratum=limits
+        return self.engine.stratified(
+            window,
+            self._labeler(kind),
+            level="addresses",
+            limit_per_stratum=self._stratum_limits(window, kind),
+            workers=workers,
         )
 
     def stratified_subnets(
-        self, window: TimeWindow, kind: str
+        self, window: TimeWindow, kind: str, workers: int = 1
     ) -> StratifiedEstimate:
         """Per-stratum /24 estimates summed to a total."""
-        labeler = self._labeler(kind)
-        limits = self._stratum_limits(window, kind, subnets=True)
-        return self.subnet_estimator(window).estimate_stratified(
-            labeler, limit_per_stratum=limits
+        return self.engine.stratified(
+            window,
+            self._labeler(kind),
+            level="subnets",
+            limit_per_stratum=self._stratum_limits(window, kind, subnets=True),
+            workers=workers,
         )
 
     def _labeler(self, kind: str):

@@ -12,10 +12,16 @@ concentrated in one source warns that the estimate hangs on it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.estimator import CaptureRecapture, EstimatorOptions
+from repro.engine.executor import fan_out
+from repro.engine.report import RunReport
 from repro.ipspace.ipset import IPSet
+
+if TYPE_CHECKING:
+    from repro.analysis.windows import TimeWindow
+    from repro.engine.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -48,21 +54,69 @@ class SensitivityReport:
         return all(abs(r.shift) <= threshold for r in self.rows)
 
 
+def _estimate_without(
+    payload: tuple[dict[str, IPSet], EstimatorOptions], name: str | None
+) -> float:
+    """Estimate with one source dropped (module-level so it pickles)."""
+    datasets, options = payload
+    if name is not None:
+        datasets = {k: v for k, v in datasets.items() if k != name}
+    return CaptureRecapture(datasets, options).estimate().population
+
+
 def leave_one_out_sensitivity(
     datasets: Mapping[str, IPSet],
     options: EstimatorOptions | None = None,
+    workers: int = 1,
+    report: RunReport | None = None,
 ) -> SensitivityReport:
-    """Re-estimate with each source removed in turn."""
+    """Re-estimate with each source removed in turn.
+
+    The drops are independent re-estimations; ``workers > 1`` fans
+    them (baseline included) out across the engine's process pool.
+    """
     if len(datasets) < 3:
         raise ValueError("need at least three sources to drop one")
     options = options or EstimatorOptions()
-    baseline = CaptureRecapture(datasets, options).estimate().population
-    rows = []
-    for name in datasets:
-        remaining = {k: v for k, v in datasets.items() if k != name}
-        estimate = CaptureRecapture(remaining, options).estimate().population
-        rows.append(
-            LeverageRow(source=name, estimate_without=estimate,
-                        baseline=baseline)
-        )
+    payload = (dict(datasets), options)
+    estimates = fan_out(
+        payload, _estimate_without, [None, *datasets],
+        workers=workers, report=report, stage="sensitivity",
+    )
+    baseline, rest = estimates[0], estimates[1:]
+    rows = [
+        LeverageRow(source=name, estimate_without=estimate, baseline=baseline)
+        for name, estimate in zip(datasets, rest)
+    ]
     return SensitivityReport(baseline=baseline, rows=rows)
+
+
+def source_leverage_window(
+    engine: "Executor",
+    window: "TimeWindow",
+    workers: int = 1,
+) -> SensitivityReport:
+    """Leverage analysis for one window straight off the engine.
+
+    Accepts an :class:`~repro.engine.executor.Executor` or anything
+    exposing one as ``.engine`` (e.g. ``EstimationPipeline``); uses the
+    window's cached datasets and the pipeline's estimator options, and
+    records fold timings in the engine's report.
+    """
+    engine = getattr(engine, "engine", engine)
+    opts = engine.options
+    limit = float(engine.internet.routing.size(window.start, window.end))
+    distribution = opts.distribution
+    if distribution == "auto":
+        distribution = "truncated"
+    options = EstimatorOptions(
+        criterion=opts.criterion,
+        divisor=opts.divisor,
+        max_order=opts.max_order,
+        distribution=distribution,
+        limit=limit,
+        min_stratum_observed=opts.min_stratum_observed,
+    )
+    return leave_one_out_sensitivity(
+        engine.datasets(window), options, workers=workers, report=engine.report
+    )

@@ -1,14 +1,19 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the reproduction's main entry points:
+The main entry points:
 
 * ``simulate``  — build a synthetic Internet and print its vitals.
 * ``estimate``  — run the full pipeline on one observation window.
+* ``windows``   — sweep all 11 standard windows through the engine
+  (``--workers`` fans them across processes) and print the growth
+  series plus per-stage instrumentation.
 * ``crossval``  — leave-one-source-out validation for a window.
 * ``supply``    — the Table 6 runout forecast.
 
 All commands share ``--scale-log2`` (size of the simulated Internet as
 a power of two; -12 is 1/4096 of the real one) and ``--seed``.
+Commands that orchestrate repeated estimation accept ``--workers``;
+results are bit-identical whatever the worker count.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import math
 import sys
 from typing import Sequence
 
-from repro.analysis.crossval import cross_validate_all
+from repro.analysis.crossval import cross_validate_window
 from repro.analysis.pipeline import EstimationPipeline
 from repro.analysis.report import format_table, to_real
 from repro.analysis.supply import supply_by_rir, world_supply
@@ -56,10 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--window", type=_parse_window,
                           default=TimeWindow(2013.5, 2014.5))
 
+    windows = sub.add_parser(
+        "windows",
+        help="sweep the 11 standard windows through the staged engine",
+    )
+    windows.add_argument("--workers", type=int, default=1,
+                         help="process-pool width for the window fan-out")
+    windows.add_argument("--report", action="store_true",
+                         help="print the per-stage instrumentation table")
+
     crossval = sub.add_parser("crossval", help="leave-one-source-out "
                               "cross-validation")
     crossval.add_argument("--window", type=_parse_window,
                           default=TimeWindow(2013.5, 2014.5))
+    crossval.add_argument("--workers", type=int, default=1,
+                          help="process-pool width for the fold fan-out")
 
     sub.add_parser("supply", help="Table 6 supply runout forecast")
 
@@ -68,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sensitivity.add_argument("--window", type=_parse_window,
                              default=TimeWindow(2013.5, 2014.5))
+    sensitivity.add_argument("--workers", type=int, default=1,
+                             help="process-pool width for the drop fan-out")
 
     churn = sub.add_parser(
         "churn", help="the Section 4.6 dynamic-address session experiment"
@@ -143,13 +161,44 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_windows(args: argparse.Namespace) -> int:
+    """Sweep all standard windows through the engine and print them."""
+    from repro.analysis.growth import growth_series
+
+    internet = _internet(args)
+    pipeline = EstimationPipeline(internet)
+    series = growth_series(pipeline, workers=args.workers)
+    scale = internet.config.scale
+    rows = [
+        [label, f"{r:.0f}", f"{o:.0f}", f"{e:.0f}", f"{t:.0f}",
+         f"{to_real(e, scale) / 1e6:.0f}"]
+        for label, r, o, e, t in zip(
+            series.labels, series.routed, series.observed,
+            series.estimated, series.truth,
+        )
+    ]
+    print(format_table(
+        ["window", "routed", "observed", "estimated", "truth",
+         "real-equiv est[M]"],
+        rows,
+        title=f"standard window sweep ({args.workers} worker(s))",
+    ))
+    print(f"\nestimated growth/yr: "
+          f"{series.growth_per_year('estimated'):.0f} addresses "
+          f"(observed {series.growth_per_year('observed'):.0f})")
+    if args.report:
+        print()
+        print(pipeline.report.summary())
+    return 0
+
+
 def cmd_crossval(args: argparse.Namespace) -> int:
     """Leave-one-source-out cross-validation for one window."""
     internet = _internet(args)
     pipeline = EstimationPipeline(internet)
-    datasets = pipeline.datasets(args.window)
     rows = []
-    for r in cross_validate_all(datasets):
+    for r in cross_validate_window(pipeline, args.window,
+                                   workers=args.workers):
         rows.append([
             r.source,
             r.universe_size,
@@ -194,12 +243,12 @@ def cmd_supply(args: argparse.Namespace) -> int:
 
 def cmd_sensitivity(args: argparse.Namespace) -> int:
     """Print each source's leave-one-out leverage."""
-    from repro.analysis.sensitivity import leave_one_out_sensitivity
+    from repro.analysis.sensitivity import source_leverage_window
 
     internet = _internet(args)
     pipeline = EstimationPipeline(internet)
-    datasets = pipeline.datasets(args.window)
-    report = leave_one_out_sensitivity(datasets)
+    report = source_leverage_window(pipeline, args.window,
+                                    workers=args.workers)
     rows = [
         [row.source, f"{row.estimate_without:.0f}", f"{row.shift:+.1%}"]
         for row in report.rows
@@ -272,6 +321,7 @@ def cmd_estimate_files(args: argparse.Namespace) -> int:
 COMMANDS = {
     "simulate": cmd_simulate,
     "estimate": cmd_estimate,
+    "windows": cmd_windows,
     "crossval": cmd_crossval,
     "supply": cmd_supply,
     "sensitivity": cmd_sensitivity,

@@ -139,7 +139,6 @@ def fit_mb(table: ContingencyTable) -> ClosedModelEstimate:
     """
     _check(table)
     t = table.num_sources
-    histories = np.arange(2**t)
     counts = table.counts
     # u_j: individuals whose first (lowest-index) capturing source is j.
     u = np.zeros(t, dtype=np.int64)

@@ -12,7 +12,7 @@ paper's final choices as defaults (BIC, adaptive divisor with maximum
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Hashable, Mapping
+from typing import Mapping
 
 from repro.core.histories import ContingencyTable, tabulate_histories
 from repro.core.loglinear import PopulationEstimate

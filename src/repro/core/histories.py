@@ -11,6 +11,7 @@ log-linear models — consumes a :class:`ContingencyTable`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -48,6 +49,12 @@ class ContingencyTable:
 
     # -- aggregate views --------------------------------------------------
 
+    @cached_property
+    def _history_index(self) -> np.ndarray:
+        """``np.arange(2**t)``, built once — source_total/overlap sit on
+        the stratified hot path and were rebuilding it per call."""
+        return np.arange(2**self.num_sources)
+
     @property
     def num_observed(self) -> int:
         """Total observed individuals ``M`` (all histories except 0)."""
@@ -56,15 +63,14 @@ class ContingencyTable:
     def source_total(self, index: int) -> int:
         """Individuals captured by source ``index`` (any history with its bit)."""
         self._check_index(index)
-        histories = np.arange(2**self.num_sources)
-        mask = (histories >> index) & 1 == 1
+        mask = (self._history_index >> index) & 1 == 1
         return int(self.counts[mask].sum())
 
     def overlap(self, i: int, j: int) -> int:
         """Individuals captured by both sources ``i`` and ``j``."""
         self._check_index(i)
         self._check_index(j)
-        histories = np.arange(2**self.num_sources)
+        histories = self._history_index
         mask = ((histories >> i) & 1 == 1) & ((histories >> j) & 1 == 1)
         return int(self.counts[mask].sum())
 
@@ -101,7 +107,7 @@ class ContingencyTable:
         keep = list(keep)
         for index in keep:
             self._check_index(index)
-        histories = np.arange(2**self.num_sources)
+        histories = self._history_index
         reduced = np.zeros(len(histories), dtype=np.int64)
         for new_bit, old_bit in enumerate(keep):
             reduced |= (((histories >> old_bit) & 1) << new_bit).astype(np.int64)
@@ -140,14 +146,14 @@ def history_masks(member_arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, np.n
     the sorted union and ``masks[i]`` is the capture-history bitmask of
     ``individuals[i]``.
     """
-    non_empty = [np.asarray(arr, dtype=np.uint32) for arr in member_arrays]
-    if not non_empty:
+    arrays = [np.asarray(arr, dtype=np.uint32) for arr in member_arrays]
+    if not arrays:
         raise ValueError("at least one source required")
-    union = np.unique(np.concatenate(non_empty)) if non_empty else np.empty(0)
+    union = np.unique(np.concatenate(arrays))
     masks = np.zeros(union.shape, dtype=np.uint32)
-    for bit, arr in enumerate(non_empty):
+    for bit, arr in enumerate(arrays):
         if arr.size == 0:
-            continue
+            continue  # empty sources contribute no bits (but keep their bit index)
         idx = np.searchsorted(union, arr)
         masks[idx] |= np.uint32(1 << bit)
     return union, masks

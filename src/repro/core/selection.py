@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Iterable
-
 import numpy as np
 
 from repro.core.design import main_effect_terms

@@ -97,6 +97,39 @@ class StratifiedEstimate:
         return self.strata[label].population
 
 
+def _estimate_one_stratum(
+    label: Hashable,
+    split: Mapping[str, IPSet],
+    min_observed: int,
+    criterion: str,
+    divisor: int | str,
+    distribution: str,
+    limit: float | None,
+    max_order: int,
+) -> StratumResult:
+    """Model-select and fit one stratum (or record its exclusion)."""
+    observed = len(IPSet.empty().union(*split.values()))
+    if observed < min_observed:
+        return StratumResult(
+            label=label, observed=observed, estimate=None, excluded=True
+        )
+    table = tabulate_histories(split)
+    selection = select_model(
+        table,
+        criterion=criterion,
+        divisor=divisor,
+        distribution=distribution,
+        limit=limit,
+        max_order=max_order,
+    )
+    return StratumResult(
+        label=label,
+        observed=observed,
+        estimate=selection.fit.estimate(),
+        excluded=False,
+    )
+
+
 def stratified_estimate(
     sources: Mapping[str, IPSet],
     labeler: Labeler,
@@ -106,34 +139,35 @@ def stratified_estimate(
     distribution: str = "poisson",
     limit_per_stratum: Callable[[Hashable], float] | None = None,
     max_order: int = 2,
+    max_workers: int = 1,
 ) -> StratifiedEstimate:
     """Estimate the population stratum by stratum and sum.
 
     ``limit_per_stratum`` supplies the truncation bound per stratum
     (e.g. its routed-space size) when ``distribution="truncated"``.
+    With ``max_workers > 1`` the independent per-stratum fits run on a
+    thread pool (the tabulation and IRLS inner loops are numpy-bound
+    and release the GIL); strata are always collected in label order,
+    so the summed estimate is bit-identical to a serial run.
     """
-    result = StratifiedEstimate()
-    for label, split in split_sources_by_label(sources, labeler).items():
-        observed = len(IPSet.empty().union(*split.values()))
-        if observed < min_observed:
-            result.strata[label] = StratumResult(
-                label=label, observed=observed, estimate=None, excluded=True
-            )
-            continue
-        table = tabulate_histories(split)
+    items = list(split_sources_by_label(sources, labeler).items())
+
+    def run_one(pair: tuple[Hashable, Mapping[str, IPSet]]) -> StratumResult:
+        label, split = pair
         limit = limit_per_stratum(label) if limit_per_stratum else None
-        selection = select_model(
-            table,
-            criterion=criterion,
-            divisor=divisor,
-            distribution=distribution,
-            limit=limit,
-            max_order=max_order,
+        return _estimate_one_stratum(
+            label, split, min_observed, criterion, divisor,
+            distribution, limit, max_order,
         )
-        result.strata[label] = StratumResult(
-            label=label,
-            observed=observed,
-            estimate=selection.fit.estimate(),
-            excluded=False,
-        )
+
+    if max_workers > 1 and len(items) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            strata = list(pool.map(run_one, items))
+    else:
+        strata = [run_one(pair) for pair in items]
+    result = StratifiedEstimate()
+    for stratum in strata:
+        result.strata[stratum.label] = stratum
     return result

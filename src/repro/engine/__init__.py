@@ -1,0 +1,53 @@
+"""Staged execution engine for the estimation dataflow.
+
+The paper's flow is an explicit multi-stage dataflow — collect,
+preprocess, spoof-filter, tabulate, fit, estimate — repeated over many
+windows, cross-validation folds and strata.  This package makes that
+dataflow a first-class object:
+
+* :mod:`repro.engine.stages` — the named :class:`Stage` functions and
+  the :class:`RunContext` they see, plus the shared
+  :class:`PipelineOptions` / :class:`WindowResult` types.
+* :mod:`repro.engine.artifacts` — keyed artifacts and the LRU
+  :class:`ArtifactCache` with optional on-disk ``.npz`` spill.
+* :mod:`repro.engine.report` — per-stage instrumentation
+  (:class:`RunReport`).
+* :mod:`repro.engine.executor` — the :class:`Executor` that resolves
+  stage graphs, fans independent work out across processes/threads and
+  records instrumentation.
+
+See ``docs/ENGINE.md`` for the artifact-key, cache-policy and
+parallel-determinism contracts.
+"""
+
+from repro.engine.artifacts import Artifact, ArtifactCache, ArtifactKey
+from repro.engine.executor import Executor, fan_out
+from repro.engine.report import RunReport, StageRecord
+from repro.engine.stages import (
+    NETFLOW_SOURCES,
+    SPOOF_FREE_REFERENCES,
+    STAGES,
+    PipelineOptions,
+    RunContext,
+    Stage,
+    WindowResult,
+    spoof_filter_seed,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "ArtifactKey",
+    "Executor",
+    "fan_out",
+    "RunReport",
+    "StageRecord",
+    "Stage",
+    "STAGES",
+    "RunContext",
+    "PipelineOptions",
+    "WindowResult",
+    "NETFLOW_SOURCES",
+    "SPOOF_FREE_REFERENCES",
+    "spoof_filter_seed",
+]

@@ -1,0 +1,206 @@
+"""Keyed artifacts and the engine's unified cache.
+
+Every stage execution produces one *artifact*: a value addressed by an
+:class:`ArtifactKey` (stage name + the parameters that determine the
+value, options included).  The :class:`ArtifactCache` replaces the old
+ad-hoc ``_dataset_cache`` / ``_result_cache`` dicts with one LRU cache
+that accounts for artifact sizes and can optionally *spill* evicted
+array-backed artifacts (:class:`~repro.ipspace.ipset.IPSet` mappings,
+:class:`~repro.core.histories.ContingencyTable`) to disk as ``.npz``
+and restore them transparently on the next ``get``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.histories import ContingencyTable
+from repro.ipspace.ipset import IPSet
+
+#: Default in-memory budget (bytes) before the LRU starts evicting.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: Sentinel returned by :meth:`ArtifactCache.get` on a miss.
+MISS = object()
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Cache address of one stage output.
+
+    ``params`` holds everything that determines the artifact value:
+    window bounds, stage parameters and the (hashable, frozen) pipeline
+    options.  Two keys compare equal iff the stage would recompute the
+    same value — changed options therefore miss by construction.
+    """
+
+    stage: str
+    params: tuple
+
+    def token(self) -> str:
+        """Stable filesystem-safe digest (spill file stem)."""
+        digest = hashlib.sha1(repr((self.stage, self.params)).encode())
+        return f"{self.stage}-{digest.hexdigest()[:16]}"
+
+
+@dataclass
+class Artifact:
+    """A cached stage output plus its accounting metadata."""
+
+    key: ArtifactKey
+    value: Any
+    nbytes: int
+
+
+def artifact_nbytes(value: Any) -> int:
+    """Best-effort size accounting for the artifact kinds we cache."""
+    if isinstance(value, IPSet):
+        return int(value.addresses.nbytes)
+    if isinstance(value, ContingencyTable):
+        return int(value.counts.nbytes)
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, Mapping):
+        return sum(artifact_nbytes(v) for v in value.values()) + 64 * len(value)
+    if isinstance(value, (list, tuple)):
+        return sum(artifact_nbytes(v) for v in value) + 16 * len(value)
+    datasets = getattr(value, "datasets", None)
+    if isinstance(datasets, Mapping):  # WindowResult and friends
+        return artifact_nbytes(datasets) + 512
+    return int(sys.getsizeof(value))
+
+
+# -- spill encoding ---------------------------------------------------------
+
+
+def _spill_payload(value: Any) -> dict[str, np.ndarray] | None:
+    """Encode a spillable artifact as named arrays (None if unsupported)."""
+    if isinstance(value, IPSet):
+        return {"__ipset__": value.addresses}
+    if isinstance(value, ContingencyTable):
+        names = np.array(list(value.source_names), dtype=np.str_)
+        return {"__table_counts__": value.counts, "__table_names__": names}
+    if (
+        isinstance(value, Mapping)
+        and value
+        and all(isinstance(v, IPSet) for v in value.values())
+    ):
+        return {f"set:{name}": s.addresses for name, s in value.items()}
+    return None
+
+
+def _restore_payload(archive: np.lib.npyio.NpzFile) -> Any:
+    """Inverse of :func:`_spill_payload`."""
+    files = archive.files
+    if "__ipset__" in files:
+        return IPSet.from_sorted_unique(archive["__ipset__"].astype(np.uint32))
+    if "__table_counts__" in files:
+        counts = archive["__table_counts__"].astype(np.int64)
+        names = tuple(str(n) for n in archive["__table_names__"])
+        num_sources = int(np.log2(counts.size))
+        return ContingencyTable(num_sources, counts, names)
+    return {
+        name[len("set:"):]: IPSet.from_sorted_unique(
+            archive[name].astype(np.uint32)
+        )
+        for name in files
+        if name.startswith("set:")
+    }
+
+
+class ArtifactCache:
+    """LRU artifact cache with size accounting and optional disk spill.
+
+    ``max_bytes`` bounds the in-memory footprint; once exceeded, least
+    recently used artifacts are evicted.  With a ``spill_dir``, evicted
+    artifacts whose value is an :class:`IPSet`, an ``{name: IPSet}``
+    mapping or a :class:`ContingencyTable` are written to
+    ``<spill_dir>/<key.token()>.npz`` instead of being dropped, and are
+    restored (counting as hits) on the next ``get``.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: OrderedDict[ArtifactKey, Artifact] = OrderedDict()
+        self._spilled: dict[ArtifactKey, Path] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.spills = 0
+        self.restores = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return key in self._entries or key in self._spilled
+
+    def get(self, key: ArtifactKey) -> Any:
+        """The cached value, or the :data:`MISS` sentinel."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value
+        path = self._spilled.get(key)
+        if path is not None and path.exists():
+            with np.load(path) as archive:
+                value = _restore_payload(archive)
+            del self._spilled[key]
+            self.restores += 1
+            self.hits += 1
+            self.put(key, value)
+            return value
+        self.misses += 1
+        return MISS
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Insert (or refresh) an artifact, evicting LRU entries as needed."""
+        nbytes = artifact_nbytes(value)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old.nbytes
+        self._entries[key] = Artifact(key=key, value=value, nbytes=nbytes)
+        self.current_bytes += nbytes
+        self._evict()
+
+    def _evict(self) -> None:
+        while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+            evicted_key, artifact = self._entries.popitem(last=False)
+            self.current_bytes -= artifact.nbytes
+            self.evictions += 1
+            if self.spill_dir is not None:
+                payload = _spill_payload(artifact.value)
+                if payload is not None:
+                    self.spill_dir.mkdir(parents=True, exist_ok=True)
+                    path = self.spill_dir / f"{evicted_key.token()}.npz"
+                    np.savez_compressed(path, **payload)
+                    self._spilled[evicted_key] = path
+                    self.spills += 1
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot for reports and benches."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "spills": self.spills,
+            "restores": self.restores,
+        }

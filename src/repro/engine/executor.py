@@ -1,0 +1,326 @@
+"""The engine executor: cache-checked stage resolution and fan-out.
+
+:class:`Executor` owns the shared state of a run (Internet, sources,
+options), resolves stage requests through the unified
+:class:`~repro.engine.artifacts.ArtifactCache`, and records one
+:class:`~repro.engine.report.StageRecord` per resolution.  Independent
+work fans out across workers:
+
+* **windows** (and anything else shipping the whole simulator) run on a
+  ``ProcessPoolExecutor`` whose workers rebuild an executor once from a
+  pickled payload;
+* **cross-validation folds** and other dataset-level tasks use the
+  generic :func:`fan_out` process-pool helper;
+* **strata** run on a thread pool inside
+  :func:`repro.core.stratified.stratified_estimate` (numpy releases the
+  GIL on the hot parts).
+
+Determinism contract: every stage draws randomness only from seeds
+derived with stable digests of (options.seed, task identity), so a
+parallel run is bit-identical to a serial run with the same seed.
+Results are always collected in submission order, never completion
+order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.core.stratified import Labeler, StratifiedEstimate, stratified_estimate
+from repro.engine.artifacts import MISS, ArtifactCache, ArtifactKey, artifact_nbytes
+from repro.engine.report import RunReport, StageRecord
+from repro.engine.stages import (
+    STAGES,
+    PipelineOptions,
+    RunContext,
+    WindowResult,
+)
+from repro.ipspace.ipset import IPSet
+from repro.simnet.internet import SyntheticInternet
+from repro.sources.base import MeasurementSource
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.analysis.__init__ imports
+    # modules that import the engine, so a module-level import here
+    # would be circular.
+    from repro.analysis.windows import TimeWindow
+
+
+def _worker_tag() -> str:
+    return f"pid{os.getpid()}"
+
+
+class Executor:
+    """Resolves stage graphs over one simulated Internet."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        sources: Mapping[str, MeasurementSource] | None = None,
+        options: PipelineOptions | None = None,
+        *,
+        cache: ArtifactCache | None = None,
+        report: RunReport | None = None,
+    ) -> None:
+        from repro.sources.catalog import build_standard_sources
+
+        self.internet = internet
+        self.options = options or PipelineOptions()
+        self.sources: dict[str, MeasurementSource] = dict(
+            sources if sources is not None else build_standard_sources(internet)
+        )
+        for name in self.options.exclude_sources:
+            self.sources.pop(name, None)
+        # `is not None`, not `or`: an empty cache/report is falsy.
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.report = report if report is not None else RunReport()
+        self.context = RunContext(self)
+
+    # -- stage resolution -------------------------------------------------
+
+    def key_for(
+        self, stage: str, window: TimeWindow | None, **params: Any
+    ) -> ArtifactKey:
+        """The artifact key a stage request resolves to."""
+        bounds = (window.start, window.end) if window is not None else ()
+        return ArtifactKey(
+            stage=stage,
+            params=(bounds, tuple(sorted(params.items())), self.options),
+        )
+
+    def run(self, stage: str, window: TimeWindow | None = None, **params: Any) -> Any:
+        """Resolve one stage through the cache, recording instrumentation."""
+        spec = STAGES[stage]
+        key = self.key_for(stage, window, **params)
+        start = perf_counter()
+        value = self.cache.get(key)
+        if value is not MISS:
+            self.report.record(
+                StageRecord(
+                    stage=stage,
+                    key=key.token(),
+                    seconds=perf_counter() - start,
+                    cache_hit=True,
+                    output_bytes=artifact_nbytes(value),
+                    worker=_worker_tag(),
+                )
+            )
+            return value
+        value = spec.fn(self.context, window, **params)
+        self.cache.put(key, value)
+        input_bytes = sum(
+            artifact_nbytes(self.cache.get(self.key_for(dep, window)))
+            for dep in spec.deps
+            if self.key_for(dep, window) in self.cache
+        )
+        self.report.record(
+            StageRecord(
+                stage=stage,
+                key=key.token(),
+                seconds=perf_counter() - start,
+                cache_hit=False,
+                input_bytes=input_bytes,
+                output_bytes=artifact_nbytes(value),
+                worker=_worker_tag(),
+            )
+        )
+        return value
+
+    # -- convenience views ------------------------------------------------
+
+    def datasets(
+        self, window: TimeWindow, spoof_filtering: bool | None = None
+    ) -> dict[str, IPSet]:
+        """Preprocessed (and optionally spoof-filtered) window datasets."""
+        if spoof_filtering is None:
+            spoof_filtering = self.options.spoof_filtering
+        return self.run("spoof_filter" if spoof_filtering else "preprocess", window)
+
+    def window_result(self, window: TimeWindow) -> WindowResult:
+        """Full observed/estimated/truth bundle for one window."""
+        return self.run("window_result", window)
+
+    # -- parallel fan-out -------------------------------------------------
+
+    def run_windows(
+        self,
+        windows: "Sequence[TimeWindow] | None" = None,
+        workers: int = 1,
+    ) -> list[WindowResult]:
+        """Run every window, fanning out across a process pool.
+
+        With ``workers > 1`` each worker process rebuilds this executor
+        from a pickled (internet, sources, options) payload once, then
+        computes whole windows.  Results come back in window order and
+        are inserted into this executor's cache, and the workers' stage
+        records are merged into :attr:`report` — so a parallel sweep
+        leaves the parent in the same queryable state as a serial one.
+        """
+        from repro.analysis.windows import standard_windows
+
+        windows = list(windows) if windows is not None else standard_windows()
+        pending = [
+            w for w in windows if self.key_for("window_result", w) not in self.cache
+        ]
+        if workers <= 1 or len(pending) <= 1:
+            return [self.window_result(w) for w in windows]
+        payload = pickle.dumps((self.internet, self.sources, self.options))
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_window_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_window_worker_run, (w.start, w.end)) for w in pending
+            ]
+            for window, future in zip(pending, futures):
+                result, records = future.result()
+                self.cache.put(self.key_for("window_result", window), result)
+                self.report.merge(RunReport(records=records))
+        return [self.window_result(w) for w in windows]
+
+    def stratified(
+        self,
+        window: TimeWindow,
+        labeler: Labeler,
+        level: str = "addresses",
+        limit_per_stratum: Callable[[Hashable], float] | None = None,
+        min_observed: int | None = None,
+        workers: int = 1,
+    ) -> StratifiedEstimate:
+        """Per-stratum estimation, strata fanned out on a thread pool."""
+        datasets = self.datasets(window)
+        if level == "subnets":
+            datasets = {name: d.subnets24() for name, d in datasets.items()}
+        elif level != "addresses":
+            raise ValueError(f"level must be 'addresses' or 'subnets', got {level!r}")
+        opts = self.options
+        distribution = opts.distribution
+        if distribution == "auto":
+            distribution = "truncated" if limit_per_stratum is not None else "poisson"
+        start = perf_counter()
+        result = stratified_estimate(
+            datasets,
+            labeler,
+            min_observed=(
+                opts.min_stratum_observed if min_observed is None else min_observed
+            ),
+            criterion=opts.criterion,
+            divisor=opts.divisor,
+            distribution=distribution,
+            limit_per_stratum=limit_per_stratum,
+            max_order=opts.max_order,
+            max_workers=workers,
+        )
+        self.report.record(
+            StageRecord(
+                stage=f"stratified[{level}]",
+                key=f"stratified-{window.start}-{window.end}",
+                seconds=perf_counter() - start,
+                cache_hit=False,
+                input_bytes=artifact_nbytes(datasets),
+                output_bytes=len(result.strata),
+                worker=_worker_tag(),
+            )
+        )
+        return result
+
+
+# -- process-pool plumbing --------------------------------------------------
+
+#: Worker-process executor, built once per worker by the initializer.
+_WORKER_EXECUTOR: Executor | None = None
+
+
+def _window_worker_init(payload: bytes) -> None:
+    global _WORKER_EXECUTOR
+    internet, sources, options = pickle.loads(payload)
+    _WORKER_EXECUTOR = Executor(internet, sources, options)
+
+
+def _window_worker_run(bounds: tuple[float, float]) -> tuple[WindowResult, list]:
+    from repro.analysis.windows import TimeWindow
+
+    assert _WORKER_EXECUTOR is not None, "worker initializer did not run"
+    before = len(_WORKER_EXECUTOR.report.records)
+    result = _WORKER_EXECUTOR.window_result(TimeWindow(*bounds))
+    return result, _WORKER_EXECUTOR.report.records[before:]
+
+
+#: Generic fold-task payload/function, one pair per worker process.
+_TASK_STATE: tuple[Any, Callable[[Any, Any], Any]] | None = None
+
+
+def _task_worker_init(blob: bytes) -> None:
+    global _TASK_STATE
+    _TASK_STATE = pickle.loads(blob)
+
+
+def _task_worker_run(item: Any) -> tuple[Any, float]:
+    assert _TASK_STATE is not None, "worker initializer did not run"
+    payload, func = _TASK_STATE
+    start = perf_counter()
+    return func(payload, item), perf_counter() - start
+
+
+def fan_out(
+    payload: Any,
+    func: Callable[[Any, Any], Any],
+    items: Iterable[Any],
+    workers: int = 1,
+    report: RunReport | None = None,
+    stage: str = "task",
+) -> list[Any]:
+    """Run ``func(payload, item)`` per item, optionally across processes.
+
+    The generic fold fan-out used by cross-validation, the selection
+    sweep and the sensitivity analysis: ``payload`` (e.g. the window's
+    dataset mapping) ships to each worker once via the pool
+    initializer; ``func`` must be a picklable module-level callable (or
+    :func:`functools.partial` of one).  Results return in ``items``
+    order regardless of completion order, and each task contributes one
+    record to ``report``.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        out = []
+        for item in items:
+            start = perf_counter()
+            out.append(func(payload, item))
+            if report is not None:
+                report.record(
+                    StageRecord(
+                        stage=stage,
+                        key=repr(item),
+                        seconds=perf_counter() - start,
+                        cache_hit=False,
+                        worker=_worker_tag(),
+                    )
+                )
+        return out
+    blob = pickle.dumps((payload, func))
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)),
+        initializer=_task_worker_init,
+        initargs=(blob,),
+    ) as pool:
+        futures = [pool.submit(_task_worker_run, item) for item in items]
+        out = []
+        for item, future in zip(items, futures):
+            value, seconds = future.result()
+            out.append(value)
+            if report is not None:
+                report.record(
+                    StageRecord(
+                        stage=stage,
+                        key=repr(item),
+                        seconds=seconds,
+                        cache_hit=False,
+                        worker="pool",
+                    )
+                )
+    return out

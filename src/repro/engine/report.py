@@ -1,0 +1,123 @@
+"""Per-stage instrumentation for engine runs.
+
+Every stage execution (or cache hit) appends one :class:`StageRecord`
+to the run's :class:`RunReport`: wall time, cache hit/miss, input and
+output artifact sizes, and which worker produced it.  Reports from
+process-pool workers are merged back into the parent's report, so a
+parallel window sweep still yields one complete account of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage execution (or cache hit) inside a run."""
+
+    stage: str
+    key: str
+    seconds: float
+    cache_hit: bool
+    input_bytes: int = 0
+    output_bytes: int = 0
+    worker: str = "main"
+
+
+@dataclass
+class StageStats:
+    """Aggregated view of one stage across a run."""
+
+    stage: str
+    calls: int = 0
+    hits: int = 0
+    misses: int = 0
+    seconds: float = 0.0
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+
+@dataclass
+class RunReport:
+    """Structured record of everything an engine run did."""
+
+    records: list[StageRecord] = field(default_factory=list)
+
+    def record(self, rec: StageRecord) -> None:
+        """Append one stage execution record."""
+        self.records.append(rec)
+
+    def merge(self, other: "RunReport") -> None:
+        """Fold a worker's (or sub-run's) records into this report."""
+        self.records.extend(other.records)
+
+    # -- aggregate views --------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.records if not r.cache_hit)
+
+    def wall_time(self, stage: str | None = None) -> float:
+        """Total recorded seconds, optionally for one stage."""
+        return sum(
+            r.seconds for r in self.records if stage is None or r.stage == stage
+        )
+
+    def by_stage(self) -> dict[str, StageStats]:
+        """Per-stage aggregation in first-seen order."""
+        stats: dict[str, StageStats] = {}
+        for r in self.records:
+            s = stats.setdefault(r.stage, StageStats(stage=r.stage))
+            s.calls += 1
+            if r.cache_hit:
+                s.hits += 1
+            else:
+                s.misses += 1
+            s.seconds += r.seconds
+            s.input_bytes += r.input_bytes
+            s.output_bytes += r.output_bytes
+        return stats
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (used by the CLI and benches)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_time": self.wall_time(),
+            "stages": {
+                name: {
+                    "calls": s.calls,
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "seconds": round(s.seconds, 6),
+                    "input_bytes": s.input_bytes,
+                    "output_bytes": s.output_bytes,
+                }
+                for name, s in self.by_stage().items()
+            },
+        }
+
+    def summary(self) -> str:
+        """Printable per-stage table."""
+        header = f"{'stage':<14} {'calls':>5} {'hits':>5} {'miss':>5} " \
+                 f"{'seconds':>9} {'out[MB]':>8}"
+        lines = [header, "-" * len(header)]
+        for name, s in self.by_stage().items():
+            lines.append(
+                f"{name:<14} {s.calls:>5} {s.hits:>5} {s.misses:>5} "
+                f"{s.seconds:>9.3f} {s.output_bytes / 1e6:>8.2f}"
+            )
+        lines.append(
+            f"total: {self.wall_time():.3f}s, "
+            f"{self.cache_hits} hits / {self.cache_misses} misses"
+        )
+        return "\n".join(lines)

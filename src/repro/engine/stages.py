@@ -1,0 +1,282 @@
+"""The named stages of the estimation dataflow.
+
+Each stage is a pure function of a :class:`RunContext` (the simulated
+Internet, the measurement sources and the frozen
+:class:`PipelineOptions`) plus its parameters — a window, and for the
+estimation stages a granularity level.  Stages declare their upstream
+dependencies and fetch them through ``ctx.run``, so every intermediate
+value flows through the executor's artifact cache:
+
+``collect → preprocess → spoof_filter → tabulate → fit → estimate``
+
+with ``window_result`` as the composite that assembles the paper's
+per-window report from the stage artifacts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, TYPE_CHECKING
+
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.core.loglinear import PopulationEstimate
+from repro.core.selection import ModelSelection, select_model
+from repro.filtering.preprocess import preprocess_dataset
+from repro.filtering.spoof_filter import SpoofFilter, detect_empty_blocks
+from repro.ipspace.ipset import IPSet
+
+if TYPE_CHECKING:
+    # Engine modules must not import the analysis package at runtime:
+    # repro.analysis.__init__ imports modules that import the engine.
+    from repro.analysis.windows import TimeWindow
+    from repro.engine.executor import Executor
+    from repro.simnet.internet import SyntheticInternet
+    from repro.sources.base import MeasurementSource
+
+#: Sources the paper treats as spoof-free references for the filter.
+SPOOF_FREE_REFERENCES = ("WIKI", "WEB", "MLAB", "GAME")
+#: Sources that need spoof filtering.
+NETFLOW_SOURCES = ("SWIN", "CALT")
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Pipeline-wide configuration (paper defaults).
+
+    Frozen and hashable: the options participate in every artifact key,
+    so two runs with different options can never share cache entries.
+    """
+
+    criterion: str = "bic"
+    divisor: int | str = "adaptive1000"
+    distribution: str = "truncated"
+    max_order: int = 2
+    spoof_filtering: bool = True
+    exclude_sources: tuple[str, ...] = ()
+    min_stratum_observed: int = 30
+    seed: int = 77
+
+
+@dataclass
+class WindowResult:
+    """Everything the paper reports about one observation window."""
+
+    window: TimeWindow
+    datasets: dict[str, IPSet]
+    routed_addresses: int
+    routed_subnets: int
+    observed_addresses: int
+    observed_subnets: int
+    ping_addresses: int
+    ping_subnets: int
+    estimate_addresses: PopulationEstimate
+    estimate_subnets: PopulationEstimate
+    truth_addresses: int
+    truth_subnets: int
+
+    @property
+    def estimated_addresses(self) -> float:
+        return self.estimate_addresses.population
+
+    @property
+    def estimated_subnets(self) -> float:
+        return self.estimate_subnets.population
+
+
+def spoof_filter_seed(base_seed: int, source_name: str) -> int:
+    """Deterministic per-source filter seed.
+
+    Derived via ``zlib.crc32`` rather than ``hash()`` so the seed does
+    not depend on ``PYTHONHASHSEED`` — pool workers and fresh
+    interpreters must draw identical filter randomness for parallel
+    runs to be bit-identical to serial ones.
+    """
+    return base_seed + zlib.crc32(source_name.encode("utf-8")) % 1000
+
+
+class RunContext:
+    """What stage functions see: shared state plus cached dependencies."""
+
+    def __init__(self, executor: "Executor") -> None:
+        self._executor = executor
+
+    @property
+    def internet(self) -> "SyntheticInternet":
+        return self._executor.internet
+
+    @property
+    def sources(self) -> Mapping[str, "MeasurementSource"]:
+        return self._executor.sources
+
+    @property
+    def options(self) -> PipelineOptions:
+        return self._executor.options
+
+    def run(self, stage: str, window: TimeWindow, **params: Any) -> Any:
+        """Fetch an upstream artifact through the executor's cache."""
+        return self._executor.run(stage, window, **params)
+
+    def datasets(self, window: TimeWindow) -> dict[str, IPSet]:
+        """The window's analysis datasets under the configured filtering."""
+        stage = "spoof_filter" if self.options.spoof_filtering else "preprocess"
+        return self.run(stage, window)
+
+
+# -- stage functions --------------------------------------------------------
+
+
+def _collect(ctx: RunContext, window: TimeWindow) -> dict[str, IPSet]:
+    """Per-source raw collections for the window (available only)."""
+    return {
+        name: source.collect(window.start, window.end)
+        for name, source in ctx.sources.items()
+        if source.available_in(window.start, window.end)
+    }
+
+
+def _preprocess(ctx: RunContext, window: TimeWindow) -> dict[str, IPSet]:
+    """Restrict raw collections to routed space; drop emptied sources."""
+    raw = ctx.run("collect", window)
+    routed = ctx.internet.routing.window(window.start, window.end)
+    processed = {
+        name: preprocess_dataset(dataset, routed).dataset
+        for name, dataset in raw.items()
+    }
+    # A source whose window data preprocesses to nothing carries no
+    # capture information and only degrades the model (all-zero
+    # margins); treat it as unavailable.
+    return {name: d for name, d in processed.items() if len(d)}
+
+
+def _spoof_filter(ctx: RunContext, window: TimeWindow) -> dict[str, IPSet]:
+    """Spoof-filter the NetFlow datasets against the spoof-free union."""
+    datasets = ctx.run("preprocess", window)
+    refs = [datasets[name] for name in SPOOF_FREE_REFERENCES if name in datasets]
+    suspects = [name for name in NETFLOW_SOURCES if name in datasets]
+    if not refs or not suspects:
+        return datasets
+    reference = refs[0].union(*refs[1:])
+    routed = ctx.internet.routing.window(window.start, window.end)
+    candidates = [
+        a.prefix for a in ctx.internet.registry if a.routed_from < window.end
+    ]
+    # Detect the calibration blocks from the union of suspects:
+    # spoofs from every NetFlow vantage light up the same dark
+    # space, and pooling them makes detection robust at small scale.
+    suspect_union = datasets[suspects[0]].union(
+        *(datasets[name] for name in suspects[1:])
+    )
+    empty = detect_empty_blocks(suspect_union, reference, candidates)
+    if not empty:
+        return datasets
+    result = dict(datasets)
+    for name in suspects:
+        spoof_filter = SpoofFilter(
+            reference,
+            routed,
+            empty,
+            seed=spoof_filter_seed(ctx.options.seed, name),
+        )
+        result[name] = spoof_filter.apply(datasets[name]).filtered
+    return result
+
+
+def _level_datasets(
+    ctx: RunContext, window: TimeWindow, level: str
+) -> dict[str, IPSet]:
+    datasets = ctx.datasets(window)
+    if level == "addresses":
+        return datasets
+    if level == "subnets":
+        return {name: d.subnets24() for name, d in datasets.items()}
+    raise ValueError(f"level must be 'addresses' or 'subnets', got {level!r}")
+
+
+def _level_limit(ctx: RunContext, window: TimeWindow, level: str) -> float:
+    routing = ctx.internet.routing
+    if level == "addresses":
+        return float(routing.size(window.start, window.end))
+    return float(routing.subnet24_count(window.start, window.end))
+
+
+def _tabulate(
+    ctx: RunContext, window: TimeWindow, level: str = "addresses"
+) -> ContingencyTable:
+    """Capture-history contingency table at the requested granularity."""
+    return tabulate_histories(_level_datasets(ctx, window, level))
+
+
+def _fit(
+    ctx: RunContext, window: TimeWindow, level: str = "addresses"
+) -> ModelSelection:
+    """Model selection and fit on the window's table."""
+    opts = ctx.options
+    limit = _level_limit(ctx, window, level)
+    distribution = opts.distribution
+    if distribution == "auto":
+        distribution = "truncated" if limit is not None else "poisson"
+    return select_model(
+        ctx.run("tabulate", window, level=level),
+        criterion=opts.criterion,
+        divisor=opts.divisor,
+        max_order=opts.max_order,
+        distribution=distribution,
+        limit=limit,
+    )
+
+
+def _estimate(
+    ctx: RunContext, window: TimeWindow, level: str = "addresses"
+) -> PopulationEstimate:
+    """Point estimate of the population at the requested granularity."""
+    return ctx.run("fit", window, level=level).fit.estimate()
+
+
+def _window_result(ctx: RunContext, window: TimeWindow) -> WindowResult:
+    """Full observed/estimated/truth bundle for one window."""
+    datasets = ctx.datasets(window)
+    union = IPSet.empty().union(*datasets.values())
+    ping = datasets.get("IPING", IPSet.empty())
+    internet = ctx.internet
+    return WindowResult(
+        window=window,
+        datasets=datasets,
+        routed_addresses=internet.routing.size(window.start, window.end),
+        routed_subnets=internet.routing.subnet24_count(window.start, window.end),
+        observed_addresses=len(union),
+        observed_subnets=len(union.subnets24()),
+        ping_addresses=len(ping),
+        ping_subnets=len(ping.subnets24()),
+        estimate_addresses=ctx.run("estimate", window, level="addresses"),
+        estimate_subnets=ctx.run("estimate", window, level="subnets"),
+        truth_addresses=internet.truth_used_addresses(window.start, window.end),
+        truth_subnets=internet.truth_used_subnets(window.start, window.end),
+    )
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A named node of the dataflow graph."""
+
+    name: str
+    fn: Callable[..., Any]
+    deps: tuple[str, ...] = ()
+    #: Whether the artifact is worth keeping across windows (heavy
+    #: intermediates are; the cheap composites are too, they are small).
+    cacheable: bool = True
+
+
+#: The dataflow graph, in topological order.
+STAGES: dict[str, Stage] = {
+    s.name: s
+    for s in (
+        Stage("collect", _collect),
+        Stage("preprocess", _preprocess, deps=("collect",)),
+        Stage("spoof_filter", _spoof_filter, deps=("preprocess",)),
+        Stage("tabulate", _tabulate, deps=("spoof_filter",)),
+        Stage("fit", _fit, deps=("tabulate",)),
+        Stage("estimate", _estimate, deps=("fit",)),
+        Stage("window_result", _window_result, deps=("spoof_filter", "estimate")),
+    )
+}

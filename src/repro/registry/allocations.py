@@ -26,7 +26,7 @@ import numpy as np
 from repro.ipspace.intervals import IntervalSet
 from repro.ipspace.prefixes import Prefix
 from repro.ipspace.special import public_space
-from repro.registry.countries import country_growth_multiplier, country_weights
+from repro.registry.countries import country_weights
 from repro.registry.rir import (
     INDUSTRY_ROUTED_PROB,
     INDUSTRY_WEIGHTS,

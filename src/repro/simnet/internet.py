@@ -9,12 +9,11 @@ paper could only approximate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.registry.allocations import Allocation, AllocationRegistry, generate_registry
-from repro.registry.rir import Industry
 from repro.registry.routing import RoutedSpace
 from repro.simnet.population import GroundTruthPopulation, generate_population
 

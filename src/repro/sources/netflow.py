@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simnet.hosts import HostType
 from repro.simnet.population import GroundTruthPopulation
 from repro.ipspace.intervals import IntervalSet
 from repro.sources.base import TIME_HORIZON, QuarterlySource, _derive_seed

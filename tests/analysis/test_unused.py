@@ -12,7 +12,6 @@ from repro.analysis.unused import (
 )
 from repro.ipspace.blocks import NUM_LEVELS, vacant_block_histogram
 from repro.ipspace.intervals import IntervalSet
-from repro.ipspace.ipset import IPSet
 
 
 class TestAllocationVector:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.chao import chao_estimate
 from repro.core.histories import ContingencyTable, tabulate_histories
-from repro.ipspace.ipset import IPSet
 from tests.conftest import make_heterogeneous_sources, make_independent_sources
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.estimator import CaptureRecapture, EstimatorOptions
+from repro.core.estimator import CaptureRecapture
 from tests.conftest import make_independent_sources
 
 

@@ -167,3 +167,30 @@ class TestWithinUniverse:
             universe, [IPSet([1]), IPSet([3])]
         )
         assert table.num_observed == 1 and unseen == 1
+
+    def test_empty_universe(self):
+        table, unseen = tabulate_within_universe(
+            IPSet.empty(), {"x": IPSet([1, 2]), "y": IPSet([2, 3])}
+        )
+        assert table.num_observed == 0
+        assert unseen == 0
+
+    def test_source_fully_outside_universe(self):
+        universe = IPSet([10, 11, 12])
+        table, unseen = tabulate_within_universe(
+            universe, {"x": IPSet([1, 2, 3]), "y": IPSet([10, 11])}
+        )
+        # x restricts to nothing: it observes no one, but keeps its
+        # history bit so the table dimension matches the source count.
+        assert table.num_sources == 2
+        assert table.num_observed == 2  # {10, 11} via y only
+        assert unseen == 1  # {12}
+
+    def test_dict_and_sequence_agree(self):
+        universe = IPSet([1, 2, 3, 4, 5, 6])
+        sets = [IPSet([1, 2, 99]), IPSet([2, 3]), IPSet([5, 6, 7])]
+        as_dict = {f"s{i}": s for i, s in enumerate(sets)}
+        table_seq, unseen_seq = tabulate_within_universe(universe, sets)
+        table_dict, unseen_dict = tabulate_within_universe(universe, as_dict)
+        assert np.array_equal(table_seq.counts, table_dict.counts)
+        assert unseen_seq == unseen_dict == 1  # {4}

@@ -1,0 +1,1 @@
+"""Tests for the staged execution engine (cache, executor, fan-out)."""

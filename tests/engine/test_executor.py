@@ -1,0 +1,156 @@
+"""Executor behaviour: cache keys, determinism and parallel fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import EstimationPipeline
+from repro.analysis.windows import TimeWindow
+from repro.core.stratified import stratified_estimate
+from repro.engine import (
+    ArtifactCache,
+    Executor,
+    PipelineOptions,
+    fan_out,
+    spoof_filter_seed,
+)
+from repro.engine.report import RunReport
+from repro.simnet.internet import SimulationConfig, SyntheticInternet
+from tests.conftest import make_heterogeneous_sources
+
+WINDOWS = [TimeWindow(2011.0, 2012.0), TimeWindow(2013.5, 2014.5)]
+
+
+@pytest.fixture(scope="module")
+def small_internet():
+    """A very small Internet for whole-sweep tests (scale 2^-14)."""
+    return SyntheticInternet(SimulationConfig(scale=2.0**-14, seed=99))
+
+
+class TestCacheKeys:
+    def test_identical_request_hits(self, tiny_internet, tiny_sources):
+        engine = Executor(tiny_internet, tiny_sources)
+        window = WINDOWS[0]
+        first = engine.run("collect", window)
+        second = engine.run("collect", window)
+        assert second is first  # identity: served from cache
+        assert engine.report.cache_hits == 1
+        assert engine.report.cache_misses == 1
+
+    def test_changed_options_miss(self, tiny_internet, tiny_sources):
+        cache = ArtifactCache()
+        window = WINDOWS[0]
+        a = Executor(tiny_internet, tiny_sources, PipelineOptions(), cache=cache)
+        b = Executor(
+            tiny_internet,
+            tiny_sources,
+            PipelineOptions(criterion="aic"),
+            cache=cache,
+        )
+        a.run("collect", window)
+        b.run("collect", window)
+        assert cache.stats()["misses"] == 2  # no cross-options sharing
+        assert a.key_for("collect", window) != b.key_for("collect", window)
+
+    def test_stage_params_participate_in_key(self, tiny_internet, tiny_sources):
+        engine = Executor(tiny_internet, tiny_sources)
+        window = WINDOWS[0]
+        addr = engine.key_for("tabulate", window, level="addresses")
+        subnet = engine.key_for("tabulate", window, level="subnets")
+        assert addr != subnet
+        assert addr == engine.key_for("tabulate", window, level="addresses")
+
+    def test_windows_do_not_collide(self, tiny_internet, tiny_sources):
+        engine = Executor(tiny_internet, tiny_sources)
+        assert engine.key_for("collect", WINDOWS[0]) != engine.key_for(
+            "collect", WINDOWS[1]
+        )
+
+
+class TestSpoofFilterDeterminism:
+    def test_seed_is_hash_randomization_free(self):
+        # crc32, not hash(): stable across interpreters / PYTHONHASHSEED.
+        assert spoof_filter_seed(77, "SWIN") == 77 + 894
+        assert spoof_filter_seed(77, "CALT") == 77 + 372
+        assert spoof_filter_seed(0, "SWIN") == spoof_filter_seed(0, "SWIN")
+
+    def test_fresh_pipelines_agree(self, tiny_internet, tiny_sources, last_window):
+        first = EstimationPipeline(tiny_internet, tiny_sources)
+        second = EstimationPipeline(tiny_internet, tiny_sources)
+        datasets_a = first.datasets(last_window)
+        datasets_b = second.datasets(last_window)
+        assert set(datasets_a) == set(datasets_b)
+        for name in datasets_a:
+            assert np.array_equal(
+                datasets_a[name].addresses, datasets_b[name].addresses
+            ), name
+
+
+class TestParallelWindows:
+    def test_parallel_bit_identical_to_serial(self, small_internet):
+        serial = Executor(small_internet)
+        parallel = Executor(small_internet)
+        serial_results = serial.run_windows(WINDOWS, workers=1)
+        parallel_results = parallel.run_windows(WINDOWS, workers=2)
+        assert len(serial_results) == len(parallel_results) == len(WINDOWS)
+        for s, p in zip(serial_results, parallel_results):
+            assert s.window == p.window
+            assert s.observed_addresses == p.observed_addresses
+            assert s.estimate_addresses.population == p.estimate_addresses.population
+            assert s.estimate_subnets.population == p.estimate_subnets.population
+            assert set(s.datasets) == set(p.datasets)
+            for name in s.datasets:
+                assert np.array_equal(
+                    s.datasets[name].addresses, p.datasets[name].addresses
+                ), name
+
+    def test_parallel_run_leaves_parent_queryable(self, small_internet):
+        engine = Executor(small_internet)
+        results = engine.run_windows(WINDOWS, workers=2)
+        # Window results were inserted into the parent cache ...
+        again = engine.run_windows(WINDOWS, workers=2)
+        for first, second in zip(results, again):
+            assert second is first
+        # ... and the workers' stage records were merged back.
+        stages = {r.stage for r in engine.report.records}
+        assert {"collect", "fit", "estimate", "window_result"} <= stages
+        assert engine.report.cache_misses > 0
+
+
+def _double(payload, item):
+    return payload * item
+
+
+class TestFanOut:
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(8))
+        serial = fan_out(3, _double, items, workers=1)
+        parallel = fan_out(3, _double, items, workers=2)
+        assert serial == parallel == [3 * i for i in items]
+
+    def test_report_records_one_per_task(self):
+        report = RunReport()
+        fan_out(1, _double, [1, 2, 3], workers=1, report=report, stage="demo")
+        assert len(report.records) == 3
+        assert all(r.stage == "demo" for r in report.records)
+
+
+class TestStratifiedThreads:
+    def test_thread_pool_matches_serial(self, rng):
+        _, sources = make_heterogeneous_sources(rng, 12_000, num_sources=4)
+
+        def labeler(addrs):
+            return (addrs >> 28).astype(np.int64)
+
+        serial = stratified_estimate(
+            sources, labeler, min_observed=50, max_workers=1
+        )
+        threaded = stratified_estimate(
+            sources, labeler, min_observed=50, max_workers=3
+        )
+        assert list(serial.strata) == list(threaded.strata)
+        for label in serial.strata:
+            assert (
+                serial.strata[label].population
+                == threaded.strata[label].population
+            ), label
+        assert serial.population == threaded.population

@@ -8,7 +8,6 @@ from repro.registry.allocations import generate_registry
 from repro.registry.bgp import (
     EventKind,
     RouteCollector,
-    RouteEvent,
     generate_route_events,
 )
 

@@ -1,7 +1,5 @@
 """SyntheticInternet facade."""
 
-import pytest
-
 from repro.simnet.internet import SimulationConfig, SyntheticInternet
 
 

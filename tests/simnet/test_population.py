@@ -1,7 +1,6 @@
 """Ground-truth population generation."""
 
 import numpy as np
-import pytest
 
 from repro.ipspace.addresses import subnet24_of
 from repro.registry.rir import Industry

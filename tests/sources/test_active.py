@@ -1,6 +1,5 @@
 """Census probing sources (IPING, TPING)."""
 
-import numpy as np
 import pytest
 
 from repro.simnet.hosts import HostType

@@ -1,7 +1,5 @@
 """The standard nine-source suite (Table 2 shape)."""
 
-import pytest
-
 from repro.sources.catalog import SOURCE_NAMES, build_standard_sources
 
 

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.filtering",
     "repro.analysis",
     "repro.data",
+    "repro.engine",
 ]
 
 

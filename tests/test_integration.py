@@ -4,8 +4,6 @@ These assert the headline qualitative results of the paper hold on the
 simulator — the bar the full benchmark suite measures in detail.
 """
 
-import pytest
-
 from repro.analysis.windows import TimeWindow
 
 
@@ -68,8 +66,6 @@ class TestGroundTruthNetworks:
                                               tiny_internet, last_window):
         """Table 4's pattern: per-network CR estimates land closer to
         the truth than raw observation for most networks."""
-        import numpy as np
-
         from repro.core.estimator import CaptureRecapture, EstimatorOptions
         from repro.ipspace.intervals import IntervalSet
         from repro.ipspace.ipset import IPSet
