@@ -82,6 +82,32 @@ def test_perf_llm_estimate(benchmark, nine_sources):
     assert est.population > 0
 
 
+def test_perf_select_model(benchmark, nine_sources):
+    """Stepwise selection over t=9 sources, pairwise interactions.
+
+    The heaviest fit-layer consumer: one selection fits dozens of
+    candidate models, so warm starts + memoisation dominate here.
+    """
+    from repro.core.selection import select_model
+
+    table = tabulate_histories(nine_sources)
+    selection = benchmark(lambda: select_model(table, max_order=2))
+    assert np.isfinite(selection.selected_ic)
+    assert selection.fit.estimate().population > table.num_observed
+
+
+def test_perf_profile_interval(benchmark, nine_sources):
+    """Profile-likelihood interval scan (hundreds of refits per call)."""
+    from repro.core.profile_ci import profile_likelihood_interval
+
+    table = tabulate_histories(nine_sources)
+    terms = main_effect_terms(9)
+    interval = benchmark(
+        lambda: profile_likelihood_interval(table, terms, alpha=0.001)
+    )
+    assert interval.population_low <= interval.population_high
+
+
 def test_perf_vacancy_histogram(benchmark):
     used = np.unique(
         RNG.integers(0, 2**28, 200_000, dtype=np.uint64).astype(np.uint32)

@@ -68,7 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     windows.add_argument("--workers", type=int, default=1,
                          help="process-pool width for the window fan-out")
     windows.add_argument("--report", action="store_true",
-                         help="print the per-stage instrumentation table")
+                         help="print the per-stage instrumentation table, "
+                         "including fit-kernel counters (fits, warm-start "
+                         "hits, IRLS iterations saved, Cholesky fallbacks)")
 
     crossval = sub.add_parser("crossval", help="leave-one-source-out "
                               "cross-validation")

@@ -28,6 +28,7 @@ from repro.core.private import (
     tabulate_blinded,
 )
 from repro.core.design import LoglinearTerms, design_matrix, hierarchical_closure
+from repro.core.fitkernel import FitCounters, weighted_least_squares
 from repro.core.estimator import CaptureRecapture, EstimatorOptions
 from repro.core.histories import ContingencyTable, tabulate_histories
 from repro.core.lincoln_petersen import (
@@ -51,6 +52,7 @@ __all__ = [
     "ClosedModelEstimate",
     "ContingencyTable",
     "CoverageEstimate",
+    "FitCounters",
     "FitDiagnostics",
     "ace_estimate",
     "bootstrap_population",
@@ -82,4 +84,5 @@ __all__ = [
     "select_model",
     "stratified_estimate",
     "tabulate_histories",
+    "weighted_least_squares",
 ]

@@ -52,7 +52,7 @@ def chao_estimate(
     ``M + f1 (f1 - 1) / (2 (f2 + 1))``, which stays finite when no
     individual was captured exactly twice.
     """
-    freqs = table.capture_frequencies()
+    freqs = table.capture_frequencies
     observed = table.num_observed
     f1 = int(freqs[1]) if len(freqs) > 1 else 0
     f2 = int(freqs[2]) if len(freqs) > 2 else 0

@@ -61,7 +61,7 @@ def fit_m0(table: ContingencyTable) -> ClosedModelEstimate:
     _check(table)
     t = table.num_sources
     M = table.num_observed
-    freqs = table.capture_frequencies()
+    freqs = table.capture_frequencies
     total_captures = int(sum(k * freqs[k] for k in range(1, t + 1)))
 
     def profile_negloglik(log_extra: float) -> float:
@@ -204,7 +204,7 @@ def fit_mh_jackknife(
     if t < 2:
         raise ValueError("jackknife needs at least two sources")
     M = table.num_observed
-    f = table.capture_frequencies().astype(float)
+    f = table.capture_frequencies.astype(float)
     max_order = min(max_order, t - 1, 5)
     coefs = _jackknife_coefficients(t, max_order)
     estimates = [M + float(np.dot(c, f[1: len(c) + 1])) for c in coefs]

@@ -46,7 +46,7 @@ def ace_estimate(
     "abundant".  Falls back to the coverage-only estimator
     (``gamma^2 = 0``) when the CV correction is degenerate.
     """
-    freqs = table.capture_frequencies()
+    freqs = table.capture_frequencies
     t = table.num_sources
     cutoff = min(rare_cutoff, t)
     k = np.arange(len(freqs))

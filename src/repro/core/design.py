@@ -20,6 +20,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core import fitkernel
+
 Term = frozenset
 LoglinearTerms = frozenset  # a model: frozenset of Term
 
@@ -78,9 +80,34 @@ def validate_terms(num_sources: int, terms: Iterable[frozenset]) -> frozenset:
     return normalised
 
 
+#: Memoised term orderings.  Sorting with the (size, sorted members) key
+#: rebuilds per-term lists every call; stepwise selection re-orders the
+#: same few dozen term sets hundreds of times per scan.
+_TERM_ORDER_CACHE: dict[frozenset, tuple[frozenset, ...]] = {}
+_TERM_ORDER_CACHE_MAX = 1024
+
+
 def term_order(terms: Iterable[frozenset]) -> list[frozenset]:
     """Deterministic ordering of terms: by size, then lexicographically."""
+    if isinstance(terms, frozenset):
+        cached = _TERM_ORDER_CACHE.get(terms)
+        if cached is None:
+            cached = tuple(
+                sorted(terms, key=lambda term: (len(term), sorted(term)))
+            )
+            if len(_TERM_ORDER_CACHE) >= _TERM_ORDER_CACHE_MAX:
+                _TERM_ORDER_CACHE.clear()
+            _TERM_ORDER_CACHE[terms] = cached
+        return list(cached)
     return sorted(terms, key=lambda term: (len(term), sorted(term)))
+
+
+#: Memoised design matrices keyed on (t, normalised terms, unobserved
+#: row).  The build is pure, and selection/profile scans request the
+#: same few matrices hundreds of times per campaign.  Bounded: see
+#: _DESIGN_CACHE_MAX.
+_DESIGN_CACHE: dict[tuple, tuple[np.ndarray, tuple[frozenset, ...]]] = {}
+_DESIGN_CACHE_MAX = 512
 
 
 def design_matrix(
@@ -94,9 +121,26 @@ def design_matrix(
     history 0 (intercept only) is prepended — used when profiling the
     likelihood over the unseen count.
 
-    Returns ``(matrix, ordered_terms)``.
+    Returns ``(matrix, ordered_terms)``.  The matrix is memoised and
+    returned read-only (``writeable=False``); copy before mutating.
+
+    Already-normalised term sets (a frozenset of frozensets — what every
+    internal caller passes) hit the cache before validation runs: a
+    cached entry proves the same term set validated on its first build.
     """
-    ordered = term_order(validate_terms(num_sources, terms))
+    if isinstance(terms, frozenset):
+        key = (num_sources, terms, include_unobserved)
+        cached = _DESIGN_CACHE.get(key)
+        if cached is not None:
+            fitkernel.record(design_cache_hits=1)
+            return cached[0], list(cached[1])
+    normalised = validate_terms(num_sources, terms)
+    key = (num_sources, normalised, include_unobserved)
+    cached = _DESIGN_CACHE.get(key)
+    if cached is not None:
+        fitkernel.record(design_cache_hits=1)
+        return cached[0], list(cached[1])
+    ordered = term_order(normalised)
     histories = np.arange(2**num_sources, dtype=np.uint32)
     if not include_unobserved:
         histories = histories[1:]
@@ -106,7 +150,40 @@ def design_matrix(
         for source in term:
             mask &= (histories >> np.uint32(source)) & np.uint32(1) == 1
         columns.append(mask.astype(float))
-    return np.column_stack(columns), ordered
+    matrix = np.column_stack(columns)
+    matrix.setflags(write=False)
+    if len(_DESIGN_CACHE) >= _DESIGN_CACHE_MAX:
+        _DESIGN_CACHE.clear()
+    _DESIGN_CACHE[key] = (matrix, tuple(ordered))
+    fitkernel.record(design_cache_misses=1)
+    return matrix, ordered
+
+
+def map_coefficients(
+    source_terms: Iterable[frozenset],
+    source_coef: np.ndarray,
+    target_terms: Iterable[frozenset],
+) -> np.ndarray:
+    """Map a fit's coefficients onto another model's column order.
+
+    The warm-start bridge between nested models: the intercept and every
+    shared term keep their fitted value, terms new to the target start
+    at 0 (their column adds nothing until the first IRLS step moves it).
+    """
+    source_ordered = term_order(source_terms)
+    source_coef = np.asarray(source_coef, dtype=np.float64)
+    if source_coef.shape != (1 + len(source_ordered),):
+        raise ValueError(
+            f"coefficient vector of length {source_coef.size} does not match "
+            f"{len(source_ordered)} terms plus intercept"
+        )
+    by_term = dict(zip(source_ordered, source_coef[1:]))
+    target_ordered = term_order(target_terms)
+    beta0 = np.zeros(1 + len(target_ordered))
+    beta0[0] = source_coef[0]
+    for column, term in enumerate(target_ordered, start=1):
+        beta0[column] = by_term.get(term, 0.0)
+    return beta0
 
 
 def describe_terms(

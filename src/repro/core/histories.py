@@ -74,11 +74,14 @@ class ContingencyTable:
         mask = ((histories >> i) & 1 == 1) & ((histories >> j) & 1 == 1)
         return int(self.counts[mask].sum())
 
+    @cached_property
     def capture_frequencies(self) -> np.ndarray:
         """``f_k`` = number of individuals captured by exactly k sources.
 
         Index ``k`` runs 0..t; ``f_0`` is structurally 0.  These are the
-        sufficient statistics for Chao-type estimators.
+        sufficient statistics for Chao-type estimators, consulted by
+        every closed-population model — cached (and read-only) because
+        the table is immutable.
         """
         histories = np.arange(2**self.num_sources, dtype=np.uint64)
         popcounts = np.zeros(2**self.num_sources, dtype=np.int64)
@@ -88,6 +91,7 @@ class ContingencyTable:
             )
         freqs = np.zeros(self.num_sources + 1, dtype=np.int64)
         np.add.at(freqs, popcounts, self.counts)
+        freqs.setflags(write=False)
         return freqs
 
     def positive_minimum(self) -> int:

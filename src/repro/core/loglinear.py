@@ -69,6 +69,7 @@ class FittedLoglinear:
     distribution: str
     limit: float | None
     converged: bool
+    iterations: int = 0
 
     @property
     def num_params(self) -> int:
@@ -80,12 +81,20 @@ class FittedLoglinear:
 
     @property
     def aic(self) -> float:
-        return 2.0 * self.num_params - 2.0 * self.loglik
+        # Local import: selection imports this module at load time.
+        from repro.core.selection import information_criterion
+
+        return information_criterion(
+            self.loglik, self.num_params, self.table.num_observed, "aic"
+        )
 
     @property
     def bic(self) -> float:
-        observed = max(self.table.num_observed, 1)
-        return np.log(observed) * self.num_params - 2.0 * self.loglik
+        from repro.core.selection import information_criterion
+
+        return information_criterion(
+            self.loglik, self.num_params, self.table.num_observed, "bic"
+        )
 
     def unseen_estimate(self) -> float:
         """Estimated count of the all-zero history, ``Z-hat_0``."""
@@ -117,9 +126,22 @@ class FittedLoglinear:
 class LoglinearModel:
     """A hierarchical log-linear model over ``t`` sources."""
 
-    def __init__(self, num_sources: int, terms: Iterable[frozenset]):
+    def __init__(
+        self,
+        num_sources: int,
+        terms: Iterable[frozenset],
+        *,
+        validate: bool = True,
+    ):
+        """``validate=False`` skips term validation; the caller then
+        guarantees ``terms`` is a normalised hierarchical frozenset of
+        frozensets (the stepwise search constructs thousands of models
+        whose terms are valid by construction).  Invalid terms still
+        fail on the first design-matrix build."""
         self.num_sources = num_sources
-        self.terms = validate_terms(num_sources, terms)
+        self.terms = (
+            validate_terms(num_sources, terms) if validate else terms
+        )
 
     def __repr__(self) -> str:
         return f"LoglinearModel(t={self.num_sources}, {describe_terms(self.terms)})"
@@ -129,11 +151,15 @@ class LoglinearModel:
         table: ContingencyTable,
         distribution: str = "poisson",
         limit: float | None = None,
+        beta0: np.ndarray | None = None,
     ) -> FittedLoglinear:
         """Fit by maximum likelihood.
 
         ``distribution`` is ``"poisson"`` or ``"truncated"``; the latter
         requires ``limit`` (the inclusive cell-count bound ``l``).
+        ``beta0`` warm-starts the optimiser from known coefficients (one
+        per intercept + ordered term); the optimum is unchanged within
+        float tolerance.
         """
         if table.num_sources != self.num_sources:
             raise ValueError(
@@ -147,7 +173,7 @@ class LoglinearModel:
         if distribution == "truncated":
             if limit is None:
                 raise ValueError("truncated fits require a limit")
-            fit = fit_truncated_poisson(design, counts, limit)
+            fit = fit_truncated_poisson(design, counts, limit, beta0=beta0)
             return FittedLoglinear(
                 table=table,
                 terms=self.terms,
@@ -157,8 +183,9 @@ class LoglinearModel:
                 distribution="truncated",
                 limit=float(limit),
                 converged=fit.converged,
+                iterations=fit.iterations,
             )
-        fit = fit_poisson(design, counts)
+        fit = fit_poisson(design, counts, beta0=beta0)
         return FittedLoglinear(
             table=table,
             terms=self.terms,
@@ -168,4 +195,5 @@ class LoglinearModel:
             distribution="poisson",
             limit=limit,
             converged=fit.converged,
+            iterations=fit.iterations,
         )

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats
-from scipy.special import gammaln
 
 from repro.core.design import design_matrix
 from repro.core.glm import fit_poisson
@@ -45,18 +44,48 @@ class ProfileInterval:
         return self.population_low <= population <= self.population_high
 
 
-def _profile_loglik(
-    design_full: np.ndarray, observed_counts: np.ndarray, unseen: float
-) -> float:
-    """Poisson log-likelihood with the all-zero cell set to ``unseen``.
+class _ProfileLoglik:
+    """The profile curve ``n_0 -> l(n_0)``, memoised and warm-started.
+
+    The golden-section and bisection scans evaluate hundreds of
+    neighbouring ``n_0`` values; each evaluation refits the model, so
+    (1) every fit is warm-started from the previous evaluation's
+    coefficients — neighbouring profiles differ only slightly, and the
+    IRLS then converges in a step or two — and (2) results are cached
+    per exact ``n_0``, so the bracket-expansion and root-finding phases
+    never refit a point the mode search already evaluated.
 
     ``unseen`` may be fractional; the factorial is continued via
     gammaln, which keeps the profile smooth for root finding.
     """
-    counts = np.concatenate([[unseen], observed_counts])
-    fit = fit_poisson(design_full, counts)
-    mu = np.maximum(fit.fitted, 1e-10)
-    return float(np.sum(counts * np.log(mu) - mu - gammaln(counts + 1.0)))
+
+    def __init__(self, design_full: np.ndarray, observed_counts: np.ndarray):
+        self._design = design_full
+        self._observed = observed_counts
+        self._coef: np.ndarray | None = None
+        self._cache: dict[float, float] = {}
+
+    def __call__(self, unseen: float) -> float:
+        unseen = max(float(unseen), 0.0)
+        cached = self._cache.get(unseen)
+        if cached is not None:
+            return cached
+        counts = np.concatenate([[unseen], self._observed])
+        fit = fit_poisson(self._design, counts, beta0=self._coef)
+        self._coef = fit.coef
+        # fit.loglik continues the factorial via gammaln on the
+        # fractional n_0, exactly as the profile needs.
+        value = fit.loglik
+        self._cache[unseen] = value
+        return value
+
+
+def _profile_loglik(
+    design_full: np.ndarray, observed_counts: np.ndarray, unseen: float
+) -> float:
+    """One cold evaluation of the profile log-likelihood (see
+    :class:`_ProfileLoglik` for the scanning interface)."""
+    return _ProfileLoglik(design_full, observed_counts)(unseen)
 
 
 def profile_likelihood_interval(
@@ -74,8 +103,9 @@ def profile_likelihood_interval(
     observed = table.counts[1:].astype(np.float64)
     M = table.num_observed
 
-    def loglik(unseen: float) -> float:
-        return _profile_loglik(design_full, observed, max(unseen, 0.0))
+    # One memoised, warm-started profile curve shared by the bracket
+    # expansion, the golden-section mode search, and both root finders.
+    loglik = _ProfileLoglik(design_full, observed)
 
     # Locate the mode: start from the closed-table fit's point estimate
     # and golden-section around it.

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from itertools import combinations
 import numpy as np
 
-from repro.core.design import main_effect_terms
+from repro.core import fitkernel
+from repro.core.design import main_effect_terms, map_coefficients
 from repro.core.histories import ContingencyTable
 from repro.core.loglinear import FittedLoglinear, LoglinearModel
 
@@ -117,20 +118,15 @@ def _candidate_terms(
     return candidates
 
 
-def _score(
-    scaled: ContingencyTable, terms: frozenset, criterion: str
-) -> CandidateScore:
-    # Candidates are always scored with the plain Poisson likelihood:
-    # it is the cheap fit, and the paper notes truncation "otherwise
-    # makes little difference" outside small strata — the final model
-    # is refit with the requested distribution.
-    model = LoglinearModel(scaled.num_sources, terms)
-    fitted = model.fit(scaled, distribution="poisson")
+def _score(fitted: FittedLoglinear, criterion: str) -> CandidateScore:
     ic = information_criterion(
-        fitted.loglik, fitted.num_params, scaled.num_observed, criterion
+        fitted.loglik, fitted.num_params, fitted.table.num_observed, criterion
     )
     return CandidateScore(
-        terms=terms, ic=ic, loglik=fitted.loglik, num_params=fitted.num_params
+        terms=fitted.terms,
+        ic=ic,
+        loglik=fitted.loglik,
+        num_params=fitted.num_params,
     )
 
 
@@ -149,6 +145,14 @@ def select_model(
     most, computed on counts divided by ``divisor``; stop when nothing
     improves.  Then pick the simplest visited model within
     :data:`IC_MARGIN` of the best and refit it on the full counts.
+
+    The search runs on the warm-started fit kernel: every candidate fit
+    starts from its parent's coefficients (the one new column at 0),
+    fits are memoised per term set so revisited models and the
+    parsimony-rule refit never recompute, and the final full-count fit
+    starts from the chosen candidate's coefficients with the intercept
+    shifted by ``log(divisor)`` (undoing the count division).  Scores
+    and estimates match the cold-start search within float tolerance.
     """
     if table.num_sources < 2:
         raise ValueError("capture-recapture needs at least two sources")
@@ -160,15 +164,40 @@ def select_model(
         scaled = table
         resolved = 1
 
+    # Candidates are always scored with the plain Poisson likelihood:
+    # it is the cheap fit, and the paper notes truncation "otherwise
+    # makes little difference" outside small strata — the final model
+    # is refit with the requested distribution.
+    memo: dict[frozenset, FittedLoglinear] = {}
+
+    def fit_scaled(
+        terms: frozenset, parent: FittedLoglinear | None
+    ) -> FittedLoglinear:
+        cached = memo.get(terms)
+        if cached is not None:
+            fitkernel.record(memo_hits=1, iterations_saved=cached.iterations)
+            return cached
+        beta0 = (
+            map_coefficients(parent.terms, parent.coef, terms)
+            if parent is not None
+            else None
+        )
+        fitted = LoglinearModel(scaled.num_sources, terms, validate=False).fit(
+            scaled, distribution="poisson", beta0=beta0
+        )
+        memo[terms] = fitted
+        return fitted
+
     current = main_effect_terms(table.num_sources)
-    best = _score(scaled, current, criterion)
+    current_fit = fit_scaled(current, None)
+    best = _score(current_fit, criterion)
     path = [best]
     while True:
         candidates = _candidate_terms(table.num_sources, current, max_order)
         if not candidates:
             break
         scores = [
-            _score(scaled, frozenset(current | {term}), criterion)
+            _score(fit_scaled(current | {term}, current_fit), criterion)
             for term in candidates
         ]
         challenger = min(scores, key=lambda s: s.ic)
@@ -176,6 +205,7 @@ def select_model(
             break
         best = challenger
         current = challenger.terms
+        current_fit = fit_scaled(current, None)
         path.append(challenger)
 
     # Parsimony rule: simplest visited model m with no n: IC_n < IC_m - 7.
@@ -183,8 +213,15 @@ def select_model(
     eligible = [score for score in path if score.ic <= best_ic + IC_MARGIN]
     chosen = min(eligible, key=lambda s: (s.num_params, s.ic))
 
-    final_model = LoglinearModel(table.num_sources, chosen.terms)
-    final_fit = final_model.fit(table, distribution=distribution, limit=limit)
+    # Warm-start the full-count refit from the chosen candidate: counts
+    # were integer-divided by d, so rates (and hence the intercept, on
+    # the log scale) sit about log(d) higher on the unscaled table.
+    beta0 = fit_scaled(chosen.terms, None).coef.copy()
+    beta0[0] += float(np.log(resolved))
+    final_model = LoglinearModel(table.num_sources, chosen.terms, validate=False)
+    final_fit = final_model.fit(
+        table, distribution=distribution, limit=limit, beta0=beta0
+    )
     return ModelSelection(
         fit=final_fit,
         divisor=resolved,

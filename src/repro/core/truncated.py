@@ -20,7 +20,8 @@ import numpy as np
 from scipy import optimize, stats
 from scipy.special import gammaln
 
-from repro.core.glm import GlmFit, fit_poisson
+from repro.core import fitkernel
+from repro.core.glm import fit_poisson
 
 
 def truncated_logpmf(k: np.ndarray, rate: np.ndarray, limit: float) -> np.ndarray:
@@ -71,6 +72,7 @@ class TruncatedGlmFit:
     loglik: float
     limit: float
     converged: bool
+    iterations: int = 0
 
     @property
     def num_params(self) -> int:
@@ -86,19 +88,26 @@ def fit_truncated_poisson(
     counts: np.ndarray,
     limit: float,
     max_iter: int = 500,
+    beta0: np.ndarray | None = None,
 ) -> TruncatedGlmFit:
     """Maximum-likelihood truncated-Poisson GLM with log link.
 
     ``limit`` is the common inclusive upper bound ``l`` on every cell
     count (the routed-space size in the paper's usage).  The fit is
-    seeded from the plain Poisson IRLS solution; for ``limit`` far above
-    all counts the two coincide to numerical precision.
+    seeded from ``beta0`` when given (skipping the seed IRLS fit
+    entirely), otherwise from the plain Poisson IRLS solution; for
+    ``limit`` far above all counts the two coincide to numerical
+    precision.
     """
     X = np.asarray(design, dtype=np.float64)
     y = np.asarray(counts, dtype=np.float64)
     if np.any(y > limit):
         raise ValueError("a cell count exceeds the truncation limit")
-    seed: GlmFit = fit_poisson(X, y)
+    if fitkernel.usable_warm_start(beta0, X.shape[1]):
+        start = np.asarray(beta0, dtype=np.float64)
+        fitkernel.record(warm_start_hits=1)
+    else:
+        start = fit_poisson(X, y).coef
 
     def negative_loglik(beta: np.ndarray) -> tuple[float, np.ndarray]:
         eta = np.clip(X @ beta, -700.0, 700.0)
@@ -113,7 +122,7 @@ def fit_truncated_poisson(
 
     result = optimize.minimize(
         negative_loglik,
-        seed.coef,
+        start,
         jac=True,
         method="L-BFGS-B",
         options={"maxiter": max_iter, "ftol": 1e-12, "gtol": 1e-10},
@@ -126,4 +135,5 @@ def fit_truncated_poisson(
         loglik=truncated_loglik(y, rate, limit),
         limit=float(limit),
         converged=bool(result.success),
+        iterations=int(result.nit),
     )

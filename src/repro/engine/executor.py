@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping, Sequence
 
+from repro.core import fitkernel
 from repro.core.stratified import Labeler, StratifiedEstimate, stratified_estimate
 from repro.engine.artifacts import MISS, ArtifactCache, ArtifactKey, artifact_nbytes
 from repro.engine.report import RunReport, StageRecord
@@ -110,7 +111,17 @@ class Executor:
                 )
             )
             return value
+        records_before = len(self.report.records)
+        fit_before = fitkernel.snapshot()
         value = spec.fn(self.context, window, **params)
+        fit_delta = fitkernel.snapshot() - fit_before
+        # Keep the delta exclusive: nested stage resolutions already
+        # recorded their own fit work (wall seconds stay cumulative,
+        # matching profiler convention, but counters must sum to the
+        # process totals).
+        for nested in self.report.records[records_before:]:
+            if nested.fit is not None:
+                fit_delta = fit_delta - nested.fit
         self.cache.put(key, value)
         input_bytes = sum(
             artifact_nbytes(self.cache.get(self.key_for(dep, window)))
@@ -126,6 +137,7 @@ class Executor:
                 input_bytes=input_bytes,
                 output_bytes=artifact_nbytes(value),
                 worker=_worker_tag(),
+                fit=fit_delta or None,
             )
         )
         return value
@@ -203,6 +215,7 @@ class Executor:
         if distribution == "auto":
             distribution = "truncated" if limit_per_stratum is not None else "poisson"
         start = perf_counter()
+        fit_before = fitkernel.snapshot()
         result = stratified_estimate(
             datasets,
             labeler,
@@ -216,6 +229,7 @@ class Executor:
             max_order=opts.max_order,
             max_workers=workers,
         )
+        fit_delta = fitkernel.snapshot() - fit_before
         self.report.record(
             StageRecord(
                 stage=f"stratified[{level}]",
@@ -225,6 +239,7 @@ class Executor:
                 input_bytes=artifact_nbytes(datasets),
                 output_bytes=len(result.strata),
                 worker=_worker_tag(),
+                fit=fit_delta or None,
             )
         )
         return result
@@ -260,11 +275,14 @@ def _task_worker_init(blob: bytes) -> None:
     _TASK_STATE = pickle.loads(blob)
 
 
-def _task_worker_run(item: Any) -> tuple[Any, float]:
+def _task_worker_run(item: Any) -> tuple[Any, float, Any]:
     assert _TASK_STATE is not None, "worker initializer did not run"
     payload, func = _TASK_STATE
     start = perf_counter()
-    return func(payload, item), perf_counter() - start
+    fit_before = fitkernel.snapshot()
+    value = func(payload, item)
+    fit_delta = fitkernel.snapshot() - fit_before
+    return value, perf_counter() - start, fit_delta or None
 
 
 def fan_out(
@@ -290,7 +308,9 @@ def fan_out(
         out = []
         for item in items:
             start = perf_counter()
+            fit_before = fitkernel.snapshot()
             out.append(func(payload, item))
+            fit_delta = fitkernel.snapshot() - fit_before
             if report is not None:
                 report.record(
                     StageRecord(
@@ -299,6 +319,7 @@ def fan_out(
                         seconds=perf_counter() - start,
                         cache_hit=False,
                         worker=_worker_tag(),
+                        fit=fit_delta or None,
                     )
                 )
         return out
@@ -311,7 +332,7 @@ def fan_out(
         futures = [pool.submit(_task_worker_run, item) for item in items]
         out = []
         for item, future in zip(items, futures):
-            value, seconds = future.result()
+            value, seconds, fit_delta = future.result()
             out.append(value)
             if report is not None:
                 report.record(
@@ -321,6 +342,7 @@ def fan_out(
                         seconds=seconds,
                         cache_hit=False,
                         worker="pool",
+                        fit=fit_delta,
                     )
                 )
     return out

@@ -2,14 +2,18 @@
 
 Every stage execution (or cache hit) appends one :class:`StageRecord`
 to the run's :class:`RunReport`: wall time, cache hit/miss, input and
-output artifact sizes, and which worker produced it.  Reports from
-process-pool workers are merged back into the parent's report, so a
-parallel window sweep still yields one complete account of the run.
+output artifact sizes, which worker produced it, and the fit-kernel
+counter deltas (fits, IRLS iterations, warm-start/memo hits, Cholesky
+fallbacks) the stage incurred.  Reports from process-pool workers are
+merged back into the parent's report, so a parallel window sweep still
+yields one complete account of the run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.core.fitkernel import FitCounters
 
 
 @dataclass(frozen=True)
@@ -23,6 +27,9 @@ class StageRecord:
     input_bytes: int = 0
     output_bytes: int = 0
     worker: str = "main"
+    #: Fit-kernel counter delta attributed to this execution (None when
+    #: the stage ran no fits, e.g. cache hits and pure-IO stages).
+    fit: FitCounters | None = None
 
 
 @dataclass
@@ -36,6 +43,7 @@ class StageStats:
     seconds: float = 0.0
     input_bytes: int = 0
     output_bytes: int = 0
+    fit: FitCounters = field(default_factory=FitCounters)
 
     @property
     def hit_rate(self) -> float:
@@ -72,6 +80,14 @@ class RunReport:
             r.seconds for r in self.records if stage is None or r.stage == stage
         )
 
+    def fit_totals(self) -> FitCounters:
+        """Run-wide fit-kernel counters (sum of every record's delta)."""
+        total = FitCounters()
+        for r in self.records:
+            if r.fit is not None:
+                total = total + r.fit
+        return total
+
     def by_stage(self) -> dict[str, StageStats]:
         """Per-stage aggregation in first-seen order."""
         stats: dict[str, StageStats] = {}
@@ -85,11 +101,13 @@ class RunReport:
             s.seconds += r.seconds
             s.input_bytes += r.input_bytes
             s.output_bytes += r.output_bytes
+            if r.fit is not None:
+                s.fit = s.fit + r.fit
         return stats
 
     def to_dict(self) -> dict:
         """JSON-ready summary (used by the CLI and benches)."""
-        return {
+        out = {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "wall_time": self.wall_time(),
@@ -101,13 +119,18 @@ class RunReport:
                     "seconds": round(s.seconds, 6),
                     "input_bytes": s.input_bytes,
                     "output_bytes": s.output_bytes,
+                    **({"fit_kernel": s.fit.as_dict()} if s.fit else {}),
                 }
                 for name, s in self.by_stage().items()
             },
         }
+        totals = self.fit_totals()
+        if totals:
+            out["fit_kernel"] = totals.as_dict()
+        return out
 
     def summary(self) -> str:
-        """Printable per-stage table."""
+        """Printable per-stage table (plus fit-kernel counters, if any)."""
         header = f"{'stage':<14} {'calls':>5} {'hits':>5} {'miss':>5} " \
                  f"{'seconds':>9} {'out[MB]':>8}"
         lines = [header, "-" * len(header)]
@@ -120,4 +143,28 @@ class RunReport:
             f"total: {self.wall_time():.3f}s, "
             f"{self.cache_hits} hits / {self.cache_misses} misses"
         )
+        totals = self.fit_totals()
+        if totals:
+            fit_header = (
+                f"{'fit kernel':<14} {'fits':>6} {'irls':>6} {'saved':>6} "
+                f"{'warm':>6} {'memo':>6} {'chol-fb':>7}"
+            )
+            lines += [fit_header, "-" * len(fit_header)]
+            for name, s in self.by_stage().items():
+                if not s.fit:
+                    continue
+                f = s.fit
+                lines.append(
+                    f"{name:<14} {f.fits:>6} {f.irls_iterations:>6} "
+                    f"{f.iterations_saved:>6} {f.warm_start_hits:>6} "
+                    f"{f.memo_hits:>6} {f.cholesky_fallbacks:>7}"
+                )
+            lines.append(
+                f"fit totals: {totals.fits} fits, "
+                f"{totals.irls_iterations} IRLS iterations "
+                f"({totals.iterations_saved} saved), "
+                f"{totals.warm_start_hits} warm starts, "
+                f"{totals.memo_hits} memo hits, "
+                f"{totals.cholesky_fallbacks} Cholesky fallbacks"
+            )
         return "\n".join(lines)

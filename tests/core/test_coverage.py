@@ -31,7 +31,7 @@ class TestAce:
         )
         table = tabulate_histories(sources)
         est = ace_estimate(table)
-        freqs = table.capture_frequencies()
+        freqs = table.capture_frequencies
         f1 = freqs[1]
         captures = float(sum(k * freqs[k] for k in range(1, len(freqs))))
         coverage_only = table.num_observed / (1 - f1 / captures + 1e-12)

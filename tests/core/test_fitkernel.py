@@ -1,0 +1,205 @@
+"""Tests for the fit kernel: Cholesky solves, warm starts, counters.
+
+The contract under test: the fast paths (Cholesky normal equations,
+warm starts, memoisation, early convergence) change *when* work happens,
+never *what* the estimates are — everything must agree with the cold,
+naive reference within tight float tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import fitkernel
+from repro.core.design import design_matrix, main_effect_terms
+from repro.core.glm import fit_poisson, poisson_loglik
+from repro.core.histories import ContingencyTable
+from repro.core.loglinear import LoglinearModel
+from repro.core.selection import information_criterion, select_model
+
+
+def _table(num_sources: int = 4, seed: int = 7) -> ContingencyTable:
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(2**num_sources, dtype=np.int64)
+    counts[1:] = rng.poisson(
+        200.0 * rng.dirichlet(np.ones(2**num_sources - 1))
+    ) + 1
+    return ContingencyTable(
+        num_sources=num_sources,
+        counts=counts,
+        source_names=tuple(f"s{i}" for i in range(num_sources)),
+    )
+
+
+def _design_and_counts(table: ContingencyTable):
+    X, _ = design_matrix(table.num_sources, main_effect_terms(table.num_sources))
+    return X, table.counts[1:].astype(np.float64)
+
+
+class TestCholeskySolve:
+    def test_matches_lstsq_on_well_conditioned_design(self):
+        rng = np.random.default_rng(3)
+        X = np.column_stack([np.ones(60), rng.normal(size=(60, 4))])
+        w = rng.uniform(0.5, 3.0, size=60)
+        z = rng.normal(size=60)
+        fast = fitkernel.weighted_least_squares(X, w, z)
+        sw = np.sqrt(w)
+        slow, *_ = np.linalg.lstsq(X * sw[:, None], z * sw, rcond=None)
+        np.testing.assert_allclose(fast, slow, rtol=1e-8, atol=1e-10)
+
+    def test_rank_deficient_design_falls_back(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(40, 3))
+        X = np.column_stack([base, base[:, 0]])  # exact duplicate column
+        w = rng.uniform(0.5, 2.0, size=40)
+        z = rng.normal(size=40)
+        before = fitkernel.snapshot()
+        solution = fitkernel.weighted_least_squares(X, w, z)
+        delta = fitkernel.snapshot() - before
+        assert delta.cholesky_fallbacks == 1
+        assert np.all(np.isfinite(solution))
+        sw = np.sqrt(w)
+        reference, *_ = np.linalg.lstsq(X * sw[:, None], z * sw, rcond=None)
+        np.testing.assert_allclose(solution, reference, rtol=1e-8, atol=1e-10)
+
+    def test_healthy_solve_does_not_fall_back(self):
+        rng = np.random.default_rng(5)
+        X = np.column_stack([np.ones(30), rng.normal(size=(30, 2))])
+        before = fitkernel.snapshot()
+        fitkernel.weighted_least_squares(
+            X, np.ones(30), rng.normal(size=30)
+        )
+        delta = fitkernel.snapshot() - before
+        assert delta.cholesky_fallbacks == 0
+
+
+class TestWarmStart:
+    def test_warm_start_matches_cold_fit(self):
+        X, y = _design_and_counts(_table())
+        cold = fit_poisson(X, y)
+        # Warm-start from a visibly perturbed optimum: same fixed point.
+        beta0 = cold.coef + 0.05
+        warm = fit_poisson(X, y, beta0=beta0)
+        np.testing.assert_allclose(warm.coef, cold.coef, rtol=1e-8)
+        assert warm.loglik == pytest.approx(cold.loglik, rel=1e-8)
+        assert warm.deviance == pytest.approx(cold.deviance, rel=1e-8, abs=1e-8)
+
+    def test_warm_start_from_own_optimum_is_cheap(self):
+        X, y = _design_and_counts(_table())
+        cold = fit_poisson(X, y)
+        before = fitkernel.snapshot()
+        warm = fit_poisson(X, y, beta0=cold.coef)
+        delta = fitkernel.snapshot() - before
+        assert delta.warm_start_hits == 1
+        assert warm.iterations < cold.iterations
+        np.testing.assert_allclose(warm.coef, cold.coef, rtol=1e-8)
+
+    def test_bad_beta0_is_ignored(self):
+        X, y = _design_and_counts(_table())
+        wrong_shape = np.zeros(X.shape[1] + 2)
+        non_finite = np.full(X.shape[1], np.nan)
+        cold = fit_poisson(X, y)
+        for beta0 in (wrong_shape, non_finite):
+            fit = fit_poisson(X, y, beta0=beta0)
+            np.testing.assert_allclose(fit.coef, cold.coef, rtol=1e-8)
+
+    def test_early_stop_is_at_the_optimum(self):
+        # The quadratic-prediction early stop must land on the same
+        # fixed point an exhaustive iteration reaches.
+        X, y = _design_and_counts(_table(seed=11))
+        fast = fit_poisson(X, y)
+        exhaustive = fit_poisson(X, y, tol=1e-13, max_iter=500)
+        np.testing.assert_allclose(fast.coef, exhaustive.coef, rtol=1e-8)
+        assert fast.loglik == pytest.approx(exhaustive.loglik, rel=1e-10)
+
+    def test_loglik_property_matches_direct_computation(self):
+        X, y = _design_and_counts(_table())
+        fit = fit_poisson(X, y)
+        assert fit.loglik == pytest.approx(poisson_loglik(y, fit.fitted))
+
+
+class TestSelectionPath:
+    def test_select_model_matches_cold_refits(self):
+        table = _table(num_sources=5, seed=9)
+        selection = select_model(table, max_order=2)
+        # Chosen model refit stone-cold must agree with the warm result.
+        cold_fit = LoglinearModel(table.num_sources, selection.terms).fit(table)
+        np.testing.assert_allclose(
+            selection.fit.coef, cold_fit.coef, rtol=1e-7
+        )
+        est_warm = selection.fit.estimate().population
+        est_cold = cold_fit.estimate().population
+        assert est_warm == pytest.approx(est_cold, rel=1e-8)
+        # Every path entry's IC must match a cold fit on the scaled table.
+        scaled = table.scaled(selection.divisor)
+        for score in selection.path:
+            reference = LoglinearModel(table.num_sources, score.terms).fit(scaled)
+            expected = information_criterion(
+                reference.loglik,
+                reference.num_params,
+                scaled.num_observed,
+                selection.criterion,
+            )
+            assert score.ic == pytest.approx(expected, rel=1e-8)
+
+    def test_selection_uses_warm_starts_and_memo(self):
+        table = _table(num_sources=5, seed=10)
+        before = fitkernel.snapshot()
+        select_model(table, max_order=2)
+        delta = fitkernel.snapshot() - before
+        assert delta.fits > 2
+        # Every candidate fit after independence is warm-started, and
+        # the parsimony-rule refit hits the memo.
+        assert delta.warm_start_hits >= delta.fits - 2
+        assert delta.memo_hits >= 1
+        assert delta.iterations_saved >= 1
+
+
+class TestDesignCache:
+    def test_design_matrix_memoised_and_read_only(self):
+        terms = main_effect_terms(6)
+        before = fitkernel.snapshot()
+        first, ordered_first = design_matrix(6, terms)
+        second, ordered_second = design_matrix(6, terms)
+        delta = fitkernel.snapshot() - before
+        assert second is first  # same cached object
+        assert ordered_first == ordered_second
+        assert not first.flags.writeable
+        assert delta.design_cache_hits >= 1
+        with pytest.raises(ValueError):
+            first[0, 0] = 2.0
+
+    def test_unnormalised_terms_share_the_cache(self):
+        fs = frozenset({frozenset({0}), frozenset({1})})
+        as_list = [{0}, {1}]
+        a, _ = design_matrix(2, fs)
+        b, _ = design_matrix(2, as_list)
+        assert b is a
+
+    def test_invalid_terms_still_rejected(self):
+        with pytest.raises(ValueError):
+            design_matrix(3, [frozenset({0, 1})])  # missing subset terms
+        with pytest.raises(ValueError):
+            design_matrix(2, [frozenset({5})])  # unknown source
+
+
+class TestCounters:
+    def test_fit_records_counters(self):
+        X, y = _design_and_counts(_table())
+        before = fitkernel.snapshot()
+        fit = fit_poisson(X, y)
+        delta = fitkernel.snapshot() - before
+        assert delta.fits == 1
+        assert delta.irls_iterations == fit.iterations
+        assert delta.warm_start_hits == 0
+
+    def test_counter_algebra(self):
+        a = fitkernel.FitCounters(fits=2, irls_iterations=5)
+        b = fitkernel.FitCounters(fits=1, irls_iterations=2, memo_hits=3)
+        total = a + b
+        assert total.fits == 3
+        assert total.irls_iterations == 7
+        assert total.memo_hits == 3
+        assert (total - a) == b
+        assert bool(fitkernel.FitCounters()) is False
+        assert bool(b) is True
+        assert b.as_dict()["memo_hits"] == 3

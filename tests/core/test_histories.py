@@ -86,13 +86,13 @@ class TestContingencyValidation:
 
 class TestFrequencies:
     def test_capture_frequencies(self):
-        freqs = small_table().capture_frequencies()
+        freqs = small_table().capture_frequencies
         # 3 singletons (1,2,6), 2 doubletons (3,5), 1 tripleton (4).
         assert list(freqs) == [0, 3, 2, 1]
 
     def test_frequencies_sum_to_observed(self):
         table = small_table()
-        assert table.capture_frequencies().sum() == table.num_observed
+        assert table.capture_frequencies.sum() == table.num_observed
 
     def test_positive_minimum(self):
         assert small_table().positive_minimum() == 1

@@ -62,7 +62,7 @@ class TestBlindTabulation:
         # are equal up to relabeling of individuals.
         assert blinded.num_observed == plain.num_observed
         assert np.array_equal(
-            blinded.capture_frequencies(), plain.capture_frequencies()
+            blinded.capture_frequencies, plain.capture_frequencies
         )
         for i in range(3):
             assert blinded.source_total(i) == plain.source_total(i)

@@ -57,7 +57,7 @@ def test_adaptive_divisor_below_min_positive(table):
 @settings(max_examples=40, deadline=None)
 @given(contingency_tables())
 def test_capture_frequencies_conserve_mass(table):
-    freqs = table.capture_frequencies()
+    freqs = table.capture_frequencies
     assert freqs.sum() == table.num_observed
     assert freqs[0] == 0
 
