@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Performance regression gate for the committed benchmark baselines.
+
+Compares a candidate ``pytest-benchmark`` JSON export against the
+committed baselines (``BENCH_perf_core.json`` overridden by the newer
+``BENCH_perf_fit.json`` where both cover a benchmark) and fails when
+any benchmark's median slows down by more than the threshold.
+
+CI usage (the ``perf-baseline`` job)::
+
+    pytest benchmarks/bench_perf_core.py --benchmark-json=candidate.json
+    python benchmarks/check_regression.py candidate.json
+
+Thresholds are generous (default +30% on the median) because shared CI
+runners are noisy; the gate exists to catch step-change regressions
+(an accidental O(n^2), a dropped cache), not 5% drift.  Benchmarks
+present only on one side are reported but never fail the gate, so
+adding a benchmark does not require regenerating every baseline.
+
+``--self-test`` runs the gate against a synthetic candidate derived
+from the baselines with one benchmark slowed 2x, and exits 0 iff the
+gate (a) fails the slowed candidate and (b) passes an identical one —
+CI runs it first so a broken gate cannot silently wave regressions
+through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Committed baselines, oldest first: later files override earlier
+#: ones per benchmark name, so the newest committed numbers win.
+BASELINE_FILES = ("BENCH_perf_core.json", "BENCH_perf_fit.json")
+
+#: Allowed slowdown of the median before the gate fails.
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """``{benchmark name: median seconds}`` from one pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return {
+        bench["name"]: float(bench["stats"]["median"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def load_baselines(files=BASELINE_FILES) -> dict[str, float]:
+    """Merge the committed baselines (later files override earlier)."""
+    merged: dict[str, float] = {}
+    for name in files:
+        path = HERE / name
+        if path.exists():
+            merged.update(load_medians(path))
+    if not merged:
+        raise FileNotFoundError(
+            f"no baseline files found in {HERE} (expected {files})"
+        )
+    return merged
+
+
+def compare(
+    baseline: dict[str, float],
+    candidate: dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Human-readable comparison rows; regressions are marked ``FAIL``."""
+    rows = []
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in candidate:
+            rows.append(f"SKIP {name}: not in candidate run")
+            continue
+        if name not in baseline:
+            rows.append(f"SKIP {name}: no committed baseline")
+            continue
+        base, cand = baseline[name], candidate[name]
+        ratio = cand / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > 1.0 + threshold else "ok"
+        rows.append(
+            f"{verdict:4s} {name}: {cand * 1e3:.3f} ms vs baseline "
+            f"{base * 1e3:.3f} ms ({ratio:.2f}x baseline)"
+        )
+    return rows
+
+
+def gate(candidate_path: Path, threshold: float) -> int:
+    baseline = load_baselines()
+    candidate = load_medians(candidate_path)
+    rows = compare(baseline, candidate, threshold)
+    for row in rows:
+        print(row)
+    failures = [row for row in rows if row.startswith("FAIL")]
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) slowed down more than "
+            f"{threshold:.0%} past baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(candidate)} benchmark(s) within {threshold:.0%} of baseline")
+    return 0
+
+
+def self_test(threshold: float) -> int:
+    """Prove the gate can both fail a 2x slowdown and pass a clean run."""
+    baseline = load_baselines()
+    slowed_name = sorted(baseline)[0]
+
+    clean = dict(baseline)
+    slowed = copy.deepcopy(baseline)
+    slowed[slowed_name] *= 2.0
+
+    clean_rows = compare(baseline, clean, threshold)
+    slowed_rows = compare(baseline, slowed, threshold)
+    clean_fails = [r for r in clean_rows if r.startswith("FAIL")]
+    slowed_fails = [r for r in slowed_rows if r.startswith("FAIL")]
+
+    ok = not clean_fails and len(slowed_fails) == 1
+    print(f"self-test: synthetic 2x slowdown of {slowed_name}")
+    for row in slowed_fails or slowed_rows:
+        print(f"  {row}")
+    if not ok:
+        print(
+            "self-test FAILED: gate did not flag exactly the slowed "
+            f"benchmark (clean fails: {len(clean_fails)}, slowed fails: "
+            f"{len(slowed_fails)})",
+            file=sys.stderr,
+        )
+        return 1
+    print("self-test passed: gate flags the slowdown and only the slowdown")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "candidate",
+        nargs="?",
+        type=Path,
+        help="pytest-benchmark JSON export of the candidate run",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed median slowdown fraction (default %(default)s)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate detects a synthetic 2x slowdown, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test(args.threshold)
+    if args.candidate is None:
+        parser.error("candidate JSON required unless --self-test")
+    return gate(args.candidate, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

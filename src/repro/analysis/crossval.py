@@ -25,7 +25,8 @@ from repro.ipspace.ipset import IPSet
 
 if TYPE_CHECKING:
     from repro.analysis.windows import TimeWindow
-    from repro.engine.executor import Executor
+    from repro.engine.executor import ExecutionPolicy, Executor
+    from repro.engine.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -111,12 +112,21 @@ def cross_validate_all(
     with_range: bool = False,
     workers: int = 1,
     report: RunReport | None = None,
+    policy: "ExecutionPolicy | None" = None,
+    faults: "FaultInjector | None" = None,
+    seed: int = 0,
 ) -> list[CrossValidationResult]:
     """Cross-validate every source in turn.
 
     The folds are independent; ``workers > 1`` fans them out across
     the engine's process pool.  Results always come back in source
     order, so parallel and serial runs are bit-identical.
+
+    Folds run under ``policy`` (see
+    :class:`~repro.engine.executor.ExecutionPolicy`): a fold that
+    keeps failing is recorded as ``degraded`` in ``report`` and
+    dropped from the returned list, so the validation summary is
+    computed from the surviving folds instead of aborting the sweep.
     """
     func = partial(
         cross_validate_source,
@@ -125,10 +135,12 @@ def cross_validate_all(
         max_order=max_order,
         with_range=with_range,
     )
-    return fan_out(
+    results = fan_out(
         dict(datasets), func, list(datasets),
         workers=workers, report=report, stage="crossval",
+        policy=policy, faults=faults, seed=seed,
     )
+    return [r for r in results if r is not None]
 
 
 def cross_validate_window(
@@ -141,11 +153,19 @@ def cross_validate_window(
 
     Accepts an :class:`~repro.engine.executor.Executor` or anything
     exposing one as ``.engine`` (e.g. ``EstimationPipeline``); fold
-    records land in the engine's :class:`RunReport`.
+    records land in the engine's :class:`RunReport`, and the engine's
+    execution policy and fault injector govern fold retries and
+    degradation.
     """
     engine = getattr(engine, "engine", engine)
     return cross_validate_all(
-        engine.datasets(window), workers=workers, report=engine.report, **kwargs
+        engine.datasets(window),
+        workers=workers,
+        report=engine.report,
+        policy=getattr(engine, "policy", None),
+        faults=getattr(engine, "faults", None),
+        seed=engine.options.seed,
+        **kwargs,
     )
 
 
@@ -193,6 +213,9 @@ def sweep_selection_settings(
     max_order: int = 2,
     workers: int = 1,
     report: RunReport | None = None,
+    policy: "ExecutionPolicy | None" = None,
+    faults: "FaultInjector | None" = None,
+    seed: int = 0,
 ) -> list[SettingSweepRow]:
     """Cross-validation error per model-selection setting (Table 3).
 
@@ -200,7 +223,9 @@ def sweep_selection_settings(
     paper uses every window except the first); errors aggregate over
     all sources and windows.  The full (setting x window x fold) grid
     is independent, so ``workers > 1`` fans every fold out at once;
-    errors aggregate in grid order either way.
+    errors aggregate in grid order either way.  Folds degraded under
+    ``policy`` are excluded from their setting's RMSE/MAE — the row
+    aggregates over the surviving folds.
     """
     tasks = [
         (wi, name, criterion, divisor, max_order)
@@ -211,13 +236,15 @@ def sweep_selection_settings(
     errors = fan_out(
         tuple(window_datasets), _sweep_fold_error, tasks,
         workers=workers, report=report, stage="sweep",
+        policy=policy, faults=faults, seed=seed,
     )
     rows = []
     cursor = 0
     per_setting = sum(len(d) for d in window_datasets)
     for label, criterion, divisor in settings:
-        arr = np.asarray(errors[cursor:cursor + per_setting], dtype=np.float64)
+        chunk = [e for e in errors[cursor:cursor + per_setting] if e is not None]
         cursor += per_setting
+        arr = np.asarray(chunk, dtype=np.float64)
         rows.append(
             SettingSweepRow(
                 setting=label,

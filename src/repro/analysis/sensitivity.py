@@ -21,7 +21,8 @@ from repro.ipspace.ipset import IPSet
 
 if TYPE_CHECKING:
     from repro.analysis.windows import TimeWindow
-    from repro.engine.executor import Executor
+    from repro.engine.executor import ExecutionPolicy, Executor
+    from repro.engine.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -69,11 +70,17 @@ def leave_one_out_sensitivity(
     options: EstimatorOptions | None = None,
     workers: int = 1,
     report: RunReport | None = None,
+    policy: "ExecutionPolicy | None" = None,
+    faults: "FaultInjector | None" = None,
+    seed: int = 0,
 ) -> SensitivityReport:
     """Re-estimate with each source removed in turn.
 
     The drops are independent re-estimations; ``workers > 1`` fans
     them (baseline included) out across the engine's process pool.
+    A drop degraded under ``policy`` loses its row (the report covers
+    the surviving drops); a degraded *baseline* cannot be worked
+    around and raises.
     """
     if len(datasets) < 3:
         raise ValueError("need at least three sources to drop one")
@@ -82,11 +89,17 @@ def leave_one_out_sensitivity(
     estimates = fan_out(
         payload, _estimate_without, [None, *datasets],
         workers=workers, report=report, stage="sensitivity",
+        policy=policy, faults=faults, seed=seed,
     )
     baseline, rest = estimates[0], estimates[1:]
+    if baseline is None:
+        raise RuntimeError(
+            "baseline estimate degraded; sensitivity needs the baseline"
+        )
     rows = [
         LeverageRow(source=name, estimate_without=estimate, baseline=baseline)
         for name, estimate in zip(datasets, rest)
+        if estimate is not None
     ]
     return SensitivityReport(baseline=baseline, rows=rows)
 
@@ -118,5 +131,11 @@ def source_leverage_window(
         min_stratum_observed=opts.min_stratum_observed,
     )
     return leave_one_out_sensitivity(
-        engine.datasets(window), options, workers=workers, report=engine.report
+        engine.datasets(window),
+        options,
+        workers=workers,
+        report=engine.report,
+        policy=getattr(engine, "policy", None),
+        faults=getattr(engine, "faults", None),
+        seed=engine.options.seed,
     )

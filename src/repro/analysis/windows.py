@@ -59,3 +59,21 @@ def standard_windows() -> list[TimeWindow]:
         windows.append(TimeWindow(round(start, 4), round(start + WINDOW_LENGTH, 4)))
         start += WINDOW_STEP
     return windows
+
+
+def align_results(windows, results):
+    """Pair each window with its sweep result, or ``None`` if missing.
+
+    Under the engine's fault-tolerance policy a degraded window is
+    dropped from a sweep's result list; this realigns the survivors
+    (anything with a ``.window`` attribute) against the requested
+    windows so callers can report the gaps explicitly instead of
+    silently shifting series.
+    """
+    by_window = {r.window: r for r in results}
+    return [(w, by_window.get(w)) for w in windows]
+
+
+def missing_windows(windows, results) -> list[TimeWindow]:
+    """The requested windows that produced no result (degraded)."""
+    return [w for w, r in align_results(windows, results) if r is None]

@@ -14,6 +14,14 @@ All commands share ``--scale-log2`` (size of the simulated Internet as
 a power of two; -12 is 1/4096 of the real one) and ``--seed``.
 Commands that orchestrate repeated estimation accept ``--workers``;
 results are bit-identical whatever the worker count.
+
+Fault tolerance is configured globally: ``--retries`` bounds the extra
+attempts per stage or pool task, ``--task-timeout`` puts a wall-clock
+limit on pool tasks (hung workers are terminated and the task
+retried), and ``--inject-faults SPEC`` arms the deterministic fault
+injector (``stage:kind[:index[:count[:seconds]]]``) to rehearse those
+paths.  Tasks that exhaust their retries are reported as degraded and
+dropped; surviving windows/folds still produce their estimates.
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ from repro.analysis.pipeline import EstimationPipeline
 from repro.analysis.report import format_table, to_real
 from repro.analysis.supply import supply_by_rir, world_supply
 from repro.analysis.windows import TimeWindow
+from repro.engine.executor import ExecutionPolicy, Executor
+from repro.engine.faults import FaultInjector, FaultSpec
 from repro.simnet.internet import SimulationConfig, SyntheticInternet
 
 
@@ -51,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale-log2", type=int, default=-12,
                         help="log2 of the simulation scale (default -12)")
     parser.add_argument("--seed", type=int, default=20140630)
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per stage/task before it is "
+                        "degraded (default 1)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock timeout per pool task; a hung "
+                        "task's pool is respawned and the task retried")
+    parser.add_argument("--inject-faults", action="append", default=[],
+                        metavar="SPEC", type=FaultSpec.parse,
+                        help="deterministic fault injection, repeatable; "
+                        "SPEC is stage:kind[:index[:count[:seconds]]] with "
+                        "kind one of error/delay/kill/corrupt, e.g. "
+                        "window_result:kill:1 or crossval:delay:0:1:5")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("simulate", help="build the synthetic Internet and "
@@ -117,6 +140,33 @@ def _internet(args: argparse.Namespace) -> SyntheticInternet:
     )
 
 
+def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
+    """A pipeline whose engine runs under the CLI's execution policy."""
+    internet = _internet(args)
+    policy = ExecutionPolicy(
+        retries=args.retries, task_timeout=args.task_timeout
+    )
+    faults = (
+        FaultInjector(args.inject_faults, seed=args.seed)
+        if args.inject_faults
+        else None
+    )
+    engine = Executor(internet, policy=policy, faults=faults)
+    return EstimationPipeline(internet, engine=engine)
+
+
+def _print_fault_summary(pipeline: EstimationPipeline) -> None:
+    """One line per degraded task, if the run was not clean."""
+    report = pipeline.report
+    degraded = report.degraded_records()
+    if not degraded and not report.retry_count:
+        return
+    print(f"\nfault tolerance: {report.retry_count} retried attempt(s), "
+          f"{len(degraded)} degraded task(s)")
+    for rec in degraded:
+        print(f"  degraded {rec.stage} {rec.key}: {rec.error}")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Build the synthetic Internet and print its vitals."""
     internet = _internet(args)
@@ -140,10 +190,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Run the estimation pipeline on one window and print it."""
-    internet = _internet(args)
-    pipeline = EstimationPipeline(internet)
+    pipeline = _pipeline(args)
     result = pipeline.run_window(args.window)
-    scale = internet.config.scale
+    scale = pipeline.internet.config.scale
     rows = [
         ["routed", result.routed_addresses, result.routed_subnets],
         ["pingable", result.ping_addresses, result.ping_subnets],
@@ -165,12 +214,19 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
 def cmd_windows(args: argparse.Namespace) -> int:
     """Sweep all standard windows through the engine and print them."""
-    from repro.analysis.growth import growth_series
+    from repro.analysis.growth import series_from_results
+    from repro.analysis.windows import missing_windows, standard_windows
 
-    internet = _internet(args)
-    pipeline = EstimationPipeline(internet)
-    series = growth_series(pipeline, workers=args.workers)
-    scale = internet.config.scale
+    pipeline = _pipeline(args)
+    windows = standard_windows()
+    results = pipeline.run_all(windows, workers=args.workers)
+    if not results:
+        print("every window degraded; no estimates produced",
+              file=sys.stderr)
+        _print_fault_summary(pipeline)
+        return 1
+    series = series_from_results(results)
+    scale = pipeline.internet.config.scale
     rows = [
         [label, f"{r:.0f}", f"{o:.0f}", f"{e:.0f}", f"{t:.0f}",
          f"{to_real(e, scale) / 1e6:.0f}"]
@@ -185,9 +241,13 @@ def cmd_windows(args: argparse.Namespace) -> int:
         rows,
         title=f"standard window sweep ({args.workers} worker(s))",
     ))
-    print(f"\nestimated growth/yr: "
-          f"{series.growth_per_year('estimated'):.0f} addresses "
-          f"(observed {series.growth_per_year('observed'):.0f})")
+    for window in missing_windows(windows, results):
+        print(f"window {window.label()}: degraded, no estimate")
+    if len(results) >= 2:
+        print(f"\nestimated growth/yr: "
+              f"{series.growth_per_year('estimated'):.0f} addresses "
+              f"(observed {series.growth_per_year('observed'):.0f})")
+    _print_fault_summary(pipeline)
     if args.report:
         print()
         print(pipeline.report.summary())
@@ -196,8 +256,7 @@ def cmd_windows(args: argparse.Namespace) -> int:
 
 def cmd_crossval(args: argparse.Namespace) -> int:
     """Leave-one-source-out cross-validation for one window."""
-    internet = _internet(args)
-    pipeline = EstimationPipeline(internet)
+    pipeline = _pipeline(args)
     rows = []
     for r in cross_validate_window(pipeline, args.window,
                                    workers=args.workers):
@@ -215,13 +274,14 @@ def cmd_crossval(args: argparse.Namespace) -> int:
         rows,
         title=f"cross-validation, window {args.window.label()}",
     ))
+    _print_fault_summary(pipeline)
     return 0
 
 
 def cmd_supply(args: argparse.Namespace) -> int:
     """Print the Table 6 runout forecast."""
-    internet = _internet(args)
-    pipeline = EstimationPipeline(internet)
+    pipeline = _pipeline(args)
+    internet = pipeline.internet
     first = TimeWindow(2011.0, 2012.0)
     last = TimeWindow(2013.5, 2014.5)
     rows = supply_by_rir(pipeline, first, last)
@@ -247,8 +307,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
     """Print each source's leave-one-out leverage."""
     from repro.analysis.sensitivity import source_leverage_window
 
-    internet = _internet(args)
-    pipeline = EstimationPipeline(internet)
+    pipeline = _pipeline(args)
     report = source_leverage_window(pipeline, args.window,
                                     workers=args.workers)
     rows = [
@@ -262,6 +321,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
         f"({args.window.label()}); "
         f"robust: {report.is_robust()}",
     ))
+    _print_fault_summary(pipeline)
     return 0
 
 

@@ -11,7 +11,11 @@ dataflow a first-class object:
 * :mod:`repro.engine.artifacts` — keyed artifacts and the LRU
   :class:`ArtifactCache` with optional on-disk ``.npz`` spill.
 * :mod:`repro.engine.report` — per-stage instrumentation
-  (:class:`RunReport`).
+  (:class:`RunReport`), including retry/degradation accounting.
+* :mod:`repro.engine.faults` — a deterministic, seeded
+  :class:`FaultInjector` (exceptions, delays, worker kills, spill
+  corruption) that makes every recovery path of the executor's
+  :class:`ExecutionPolicy` testable in-process.
 * :mod:`repro.engine.executor` — the :class:`Executor` that resolves
   stage graphs, fans independent work out across processes/threads and
   records instrumentation.
@@ -21,7 +25,8 @@ parallel-determinism contracts.
 """
 
 from repro.engine.artifacts import Artifact, ArtifactCache, ArtifactKey
-from repro.engine.executor import Executor, fan_out
+from repro.engine.executor import ExecutionPolicy, Executor, fan_out
+from repro.engine.faults import FaultInjected, FaultInjector, FaultSpec
 from repro.engine.report import RunReport, StageRecord
 from repro.engine.stages import (
     NETFLOW_SOURCES,
@@ -38,7 +43,11 @@ __all__ = [
     "Artifact",
     "ArtifactCache",
     "ArtifactKey",
+    "ExecutionPolicy",
     "Executor",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultSpec",
     "fan_out",
     "RunReport",
     "StageRecord",

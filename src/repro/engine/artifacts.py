@@ -13,16 +13,21 @@ and restore them transparently on the next ``get``.
 from __future__ import annotations
 
 import hashlib
+import os
 import sys
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
 from repro.core.histories import ContingencyTable
 from repro.ipspace.ipset import IPSet
+
+if TYPE_CHECKING:
+    from repro.engine.faults import FaultInjector
 
 #: Default in-memory budget (bytes) before the LRU starts evicting.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
@@ -96,23 +101,41 @@ def _spill_payload(value: Any) -> dict[str, np.ndarray] | None:
     return None
 
 
-def _restore_payload(archive: np.lib.npyio.NpzFile) -> Any:
+def _restore_payload(payload: Mapping[str, np.ndarray]) -> Any:
     """Inverse of :func:`_spill_payload`."""
-    files = archive.files
-    if "__ipset__" in files:
-        return IPSet.from_sorted_unique(archive["__ipset__"].astype(np.uint32))
-    if "__table_counts__" in files:
-        counts = archive["__table_counts__"].astype(np.int64)
-        names = tuple(str(n) for n in archive["__table_names__"])
+    if "__ipset__" in payload:
+        return IPSet.from_sorted_unique(payload["__ipset__"].astype(np.uint32))
+    if "__table_counts__" in payload:
+        counts = payload["__table_counts__"].astype(np.int64)
+        names = tuple(str(n) for n in payload["__table_names__"])
         num_sources = int(np.log2(counts.size))
         return ContingencyTable(num_sources, counts, names)
     return {
         name[len("set:"):]: IPSet.from_sorted_unique(
-            archive[name].astype(np.uint32)
+            payload[name].astype(np.uint32)
         )
-        for name in files
+        for name in payload
         if name.startswith("set:")
     }
+
+
+#: Archive member holding the payload checksum (not part of the payload).
+CHECKSUM_KEY = "__checksum__"
+
+
+def _payload_checksum(payload: Mapping[str, np.ndarray]) -> int:
+    """crc32 over the payload's names and array bytes, order-independent."""
+    crc = 0
+    for name in sorted(payload):
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        arr = np.ascontiguousarray(payload[name])
+        crc = zlib.crc32(str(arr.dtype).encode("utf-8"), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc
+
+
+class CorruptSpillError(RuntimeError):
+    """A spilled artifact failed its checksum or could not be decoded."""
 
 
 class ArtifactCache:
@@ -124,25 +147,37 @@ class ArtifactCache:
     mapping or a :class:`ContingencyTable` are written to
     ``<spill_dir>/<key.token()>.npz`` instead of being dropped, and are
     restored (counting as hits) on the next ``get``.
+
+    Spill files are written atomically (same-directory temp file +
+    ``os.replace``) and carry a crc32 checksum of their payload; a
+    file that fails verification on load is evicted and the request
+    degrades to a recomputing miss.  An optional
+    :class:`~repro.engine.faults.FaultInjector` can corrupt freshly
+    written spills (keyed by stage name and per-stage spill index) to
+    exercise exactly that path.
     """
 
     def __init__(
         self,
         max_bytes: int = DEFAULT_MAX_BYTES,
         spill_dir: str | Path | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.faults = faults
         self._entries: OrderedDict[ArtifactKey, Artifact] = OrderedDict()
         self._spilled: dict[ArtifactKey, Path] = {}
+        self._spill_counts: dict[str, int] = {}
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.spills = 0
         self.restores = 0
+        self.corrupt_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -151,7 +186,13 @@ class ArtifactCache:
         return key in self._entries or key in self._spilled
 
     def get(self, key: ArtifactKey) -> Any:
-        """The cached value, or the :data:`MISS` sentinel."""
+        """The cached value, or the :data:`MISS` sentinel.
+
+        A spilled entry is checksum-verified on load; a truncated or
+        garbled file is evicted (unlinked and forgotten, counted in
+        ``corrupt_evictions``) and the request degrades to a miss, so
+        the stage simply recomputes instead of consuming bad data.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -159,15 +200,35 @@ class ArtifactCache:
             return entry.value
         path = self._spilled.get(key)
         if path is not None and path.exists():
-            with np.load(path) as archive:
-                value = _restore_payload(archive)
-            del self._spilled[key]
-            self.restores += 1
-            self.hits += 1
-            self.put(key, value)
-            return value
+            try:
+                value = self._load_spill(path)
+            except CorruptSpillError:
+                del self._spilled[key]
+                path.unlink(missing_ok=True)
+                self.corrupt_evictions += 1
+            else:
+                del self._spilled[key]
+                self.restores += 1
+                self.hits += 1
+                self.put(key, value)
+                return value
         self.misses += 1
         return MISS
+
+    @staticmethod
+    def _load_spill(path: Path) -> Any:
+        """Decode and verify one spill file (raises on any corruption)."""
+        try:
+            with np.load(path) as archive:
+                payload = {name: archive[name] for name in archive.files}
+        except Exception as exc:  # truncated zip, bad header, short read
+            raise CorruptSpillError(f"unreadable spill {path.name}") from exc
+        checksum = payload.pop(CHECKSUM_KEY, None)
+        if checksum is None or not payload:
+            raise CorruptSpillError(f"spill {path.name} has no checksum")
+        if int(checksum) != _payload_checksum(payload):
+            raise CorruptSpillError(f"checksum mismatch in {path.name}")
+        return _restore_payload(payload)
 
     def put(self, key: ArtifactKey, value: Any) -> None:
         """Insert (or refresh) an artifact, evicting LRU entries as needed."""
@@ -187,11 +248,36 @@ class ArtifactCache:
             if self.spill_dir is not None:
                 payload = _spill_payload(artifact.value)
                 if payload is not None:
-                    self.spill_dir.mkdir(parents=True, exist_ok=True)
-                    path = self.spill_dir / f"{evicted_key.token()}.npz"
-                    np.savez_compressed(path, **payload)
-                    self._spilled[evicted_key] = path
-                    self.spills += 1
+                    self._write_spill(evicted_key, payload)
+
+    def _write_spill(
+        self, key: ArtifactKey, payload: dict[str, np.ndarray]
+    ) -> None:
+        """Atomically write one checksummed spill file.
+
+        The archive lands in a same-directory temp file first and is
+        published with ``os.replace``, so a worker killed mid-write can
+        never leave a truncated ``.npz`` under the final name for a
+        later run to load.
+        """
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self.spill_dir / f"{key.token()}.npz"
+        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        checksum = np.array(_payload_checksum(payload), dtype=np.uint64)
+        try:
+            # Write through a file object: savez would append another
+            # ".npz" to a bare temp-file *name*, breaking the replace.
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **payload, **{CHECKSUM_KEY: checksum})
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._spilled[key] = path
+        self.spills += 1
+        index = self._spill_counts.get(key.stage, 0)
+        self._spill_counts[key.stage] = index + 1
+        if self.faults is not None:
+            self.faults.corrupt_spill(key.stage, index, path)
 
     def stats(self) -> dict[str, int]:
         """Counters snapshot for reports and benches."""
@@ -203,4 +289,5 @@ class ArtifactCache:
             "evictions": self.evictions,
             "spills": self.spills,
             "restores": self.restores,
+            "corrupt_evictions": self.corrupt_evictions,
         }

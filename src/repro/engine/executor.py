@@ -15,24 +15,42 @@ work fans out across workers:
   :func:`repro.core.stratified.stratified_estimate` (numpy releases the
   GIL on the hot parts).
 
+Fault tolerance: every stage resolution and every pool task runs under
+an :class:`ExecutionPolicy` — bounded retries with exponential backoff
+and deterministic jitter, per-task wall-clock timeouts, and
+``BrokenProcessPool`` recovery (the pool is respawned, unfinished
+tasks are requeued, and a task that kills workers
+``pool_kill_limit`` times is pulled back into the parent process and
+run serially).  A task that exhausts its retries is *degraded* — it is
+recorded in the :class:`~repro.engine.report.RunReport` and dropped
+from the results instead of aborting the run — unless
+``policy.degrade`` is off, in which case the last error is re-raised.
+
 Determinism contract: every stage draws randomness only from seeds
 derived with stable digests of (options.seed, task identity), so a
-parallel run is bit-identical to a serial run with the same seed.
-Results are always collected in submission order, never completion
-order.
+parallel run is bit-identical to a serial run with the same seed —
+including under injected faults, because retries re-execute the same
+pure stage functions.  Results are always collected in submission
+order, never completion order.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.core import fitkernel
 from repro.core.stratified import Labeler, StratifiedEstimate, stratified_estimate
 from repro.engine.artifacts import MISS, ArtifactCache, ArtifactKey, artifact_nbytes
+from repro.engine.faults import FaultInjector, backoff_seconds
 from repro.engine.report import RunReport, StageRecord
 from repro.engine.stages import (
     STAGES,
@@ -55,6 +73,224 @@ def _worker_tag() -> str:
     return f"pid{os.getpid()}"
 
 
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the executor treats failing, hanging or worker-killing tasks.
+
+    The policy never changes *what* a run computes — stages are pure,
+    so a retried task converges to the same artifact — only whether a
+    partial failure takes the whole run down with it.
+    """
+
+    #: Extra attempts after the first, per stage resolution / pool task.
+    retries: int = 1
+    #: First backoff sleep in seconds (doubles per attempt, capped).
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    #: Jitter fraction on top of the backoff (deterministic, seeded).
+    jitter: float = 0.25
+    #: Wall-clock seconds to wait on a pool task before declaring it
+    #: hung, killing the pool and retrying.  ``None`` waits forever.
+    task_timeout: float | None = None
+    #: Worker deaths attributed to one task before it is pulled out of
+    #: the pool and run serially in the parent process.
+    pool_kill_limit: int = 2
+    serial_fallback: bool = True
+    #: Record-and-drop tasks that exhaust their retries instead of
+    #: re-raising (the surviving tasks still produce their estimates).
+    degrade: bool = True
+
+
+@dataclass
+class _TaskOutcome:
+    """Terminal state of one resilient pool task."""
+
+    payload: Any = None
+    status: str = "degraded"
+    attempts: int = 0
+    error: str | None = None
+    seconds: float = 0.0
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, nuke: bool) -> None:
+    """Close a pool; with ``nuke``, terminate its worker processes.
+
+    ``nuke`` is for hung or broken pools: a worker stuck in a fit
+    would otherwise block ``shutdown`` forever.  Reaching into
+    ``_processes`` is the standard (if private) escape hatch.
+    """
+    if nuke:
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):
+                pass
+    pool.shutdown(wait=not nuke, cancel_futures=True)
+
+
+def _resilient_pool_map(
+    tasks: Sequence[Any],
+    *,
+    stage: str,
+    workers: int,
+    make_pool: Callable[[int], ProcessPoolExecutor],
+    submit: Callable[[ProcessPoolExecutor, int, int, Any], Any],
+    serial_run: Callable[[int, int, Any], Any],
+    policy: ExecutionPolicy,
+    seed: int,
+) -> list[_TaskOutcome]:
+    """Run tasks on a process pool, surviving crashes, hangs and kills.
+
+    Tasks are submitted in order and collected in order.  A task that
+    raises is retried (with backoff) up to ``policy.retries`` times; a
+    task whose worker dies breaks the pool, so the pool is rebuilt and
+    every unfinished task requeued — completed futures are harvested
+    first, and only the task being waited on is charged the failure.
+    A task charged ``pool_kill_limit`` worker deaths runs serially in
+    the parent via ``serial_run``.  Exhausted tasks degrade (or
+    re-raise when ``policy.degrade`` is off).
+    """
+    n = len(tasks)
+    outcomes: list[_TaskOutcome | None] = [None] * n
+    attempts = [0] * n
+    kills = [0] * n
+    forced_serial = [False] * n
+    errors: list[str | None] = [None] * n
+    last_exc: list[BaseException | None] = [None] * n
+    pending = list(range(n))
+    pool: ProcessPoolExecutor | None = None
+
+    def close_pool(nuke: bool = False) -> None:
+        nonlocal pool
+        if pool is not None:
+            _shutdown_pool(pool, nuke=nuke)
+            pool = None
+
+    def fail(i: int, exc: BaseException, started: float) -> bool:
+        """Charge one failed attempt; True if the task should retry."""
+        attempts[i] += 1
+        errors[i] = _describe(exc)
+        last_exc[i] = exc
+        if attempts[i] <= policy.retries or (
+            forced_serial[i] and attempts[i] <= policy.retries + 1
+        ):
+            return True
+        if not policy.degrade:
+            close_pool(nuke=True)
+            raise exc
+        outcomes[i] = _TaskOutcome(
+            status="degraded",
+            attempts=attempts[i],
+            error=errors[i],
+            seconds=perf_counter() - started,
+        )
+        return False
+
+    def succeed(i: int, payload: Any, started: float) -> None:
+        outcomes[i] = _TaskOutcome(
+            payload=payload,
+            status="retried" if attempts[i] else "ok",
+            attempts=attempts[i] + 1,
+            error=errors[i],
+            seconds=perf_counter() - started,
+        )
+
+    try:
+        while pending:
+            sleep_for = 0.0
+            next_pending: list[int] = []
+            parallel = [i for i in pending if not forced_serial[i]]
+            for i in (i for i in pending if forced_serial[i]):
+                started = perf_counter()
+                try:
+                    payload = serial_run(i, attempts[i], tasks[i])
+                except Exception as exc:
+                    if fail(i, exc, started):
+                        next_pending.append(i)
+                        sleep_for = max(
+                            sleep_for,
+                            backoff_seconds(
+                                policy.backoff_base, policy.backoff_max,
+                                policy.jitter, seed, stage, i, attempts[i],
+                            ),
+                        )
+                else:
+                    succeed(i, payload, started)
+            if parallel:
+                if pool is None:
+                    pool = make_pool(min(workers, len(parallel)))
+                futures = {
+                    i: submit(pool, i, attempts[i], tasks[i]) for i in parallel
+                }
+                broken = False
+                for i in parallel:
+                    future = futures[i]
+                    if broken:
+                        # The pool just died under us: keep results that
+                        # finished before the breakage, requeue the rest
+                        # without charging them an attempt.
+                        if future.done():
+                            try:
+                                payload = future.result()
+                            except (BrokenProcessPool, CancelledError):
+                                next_pending.append(i)
+                            except Exception as exc:
+                                if fail(i, exc, perf_counter()):
+                                    next_pending.append(i)
+                            else:
+                                succeed(i, payload, perf_counter())
+                        else:
+                            future.cancel()
+                            next_pending.append(i)
+                        continue
+                    started = perf_counter()
+                    try:
+                        payload = future.result(timeout=policy.task_timeout)
+                    except (FutureTimeoutError, TimeoutError) as exc:
+                        hung = TimeoutError(
+                            f"task exceeded {policy.task_timeout}s wall clock"
+                        )
+                        hung.__cause__ = exc
+                        broken = True
+                        close_pool(nuke=True)
+                        if fail(i, hung, started):
+                            next_pending.append(i)
+                    except BrokenProcessPool as exc:
+                        kills[i] += 1
+                        broken = True
+                        close_pool(nuke=True)
+                        if (
+                            policy.serial_fallback
+                            and kills[i] >= policy.pool_kill_limit
+                        ):
+                            forced_serial[i] = True
+                        if fail(i, exc, started):
+                            next_pending.append(i)
+                    except Exception as exc:
+                        if fail(i, exc, started):
+                            next_pending.append(i)
+                            sleep_for = max(
+                                sleep_for,
+                                backoff_seconds(
+                                    policy.backoff_base, policy.backoff_max,
+                                    policy.jitter, seed, stage, i, attempts[i],
+                                ),
+                            )
+                    else:
+                        succeed(i, payload, started)
+            pending = next_pending
+            if pending and sleep_for > 0.0:
+                time.sleep(sleep_for)
+    finally:
+        close_pool()
+    return [o if o is not None else _TaskOutcome() for o in outcomes]
+
+
 class Executor:
     """Resolves stage graphs over one simulated Internet."""
 
@@ -66,6 +302,8 @@ class Executor:
         *,
         cache: ArtifactCache | None = None,
         report: RunReport | None = None,
+        policy: ExecutionPolicy | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         from repro.sources.catalog import build_standard_sources
 
@@ -76,10 +314,26 @@ class Executor:
         )
         for name in self.options.exclude_sources:
             self.sources.pop(name, None)
+        self.policy = policy or ExecutionPolicy()
+        self.faults = faults
         # `is not None`, not `or`: an empty cache/report is falsy.
-        self.cache = cache if cache is not None else ArtifactCache()
+        self.cache = cache if cache is not None else ArtifactCache(faults=faults)
         self.report = report if report is not None else RunReport()
         self.context = RunContext(self)
+        #: Per-stage resolution counter: the task index stage-level
+        #: faults key on (counts cache misses, stable under retries).
+        self._stage_sequence: dict[str, int] = {}
+        self._fire_stage_faults = True
+
+    @contextmanager
+    def _stage_faults_suppressed(self):
+        """Silence stage-level fault firing (serial-fallback reruns)."""
+        previous = self._fire_stage_faults
+        self._fire_stage_faults = False
+        try:
+            yield
+        finally:
+            self._fire_stage_faults = previous
 
     # -- stage resolution -------------------------------------------------
 
@@ -94,7 +348,13 @@ class Executor:
         )
 
     def run(self, stage: str, window: TimeWindow | None = None, **params: Any) -> Any:
-        """Resolve one stage through the cache, recording instrumentation."""
+        """Resolve one stage through the cache, recording instrumentation.
+
+        A stage function that raises is retried ``policy.retries``
+        times with backoff (stages are pure, so a retry is safe); the
+        exhausted failure is recorded as ``failed`` and re-raised for
+        the surrounding sweep to degrade or propagate.
+        """
         spec = STAGES[stage]
         key = self.key_for(stage, window, **params)
         start = perf_counter()
@@ -111,9 +371,40 @@ class Executor:
                 )
             )
             return value
-        records_before = len(self.report.records)
-        fit_before = fitkernel.snapshot()
-        value = spec.fn(self.context, window, **params)
+        index = self._stage_sequence.get(stage, 0)
+        self._stage_sequence[stage] = index + 1
+        attempt = 0
+        while True:
+            records_before = len(self.report.records)
+            fit_before = fitkernel.snapshot()
+            try:
+                if self.faults is not None and self._fire_stage_faults:
+                    self.faults.fire(stage, index, attempt)
+                value = spec.fn(self.context, window, **params)
+                break
+            except Exception as exc:
+                attempt += 1
+                if not spec.retryable or attempt > self.policy.retries:
+                    self.report.record(
+                        StageRecord(
+                            stage=stage,
+                            key=key.token(),
+                            seconds=perf_counter() - start,
+                            cache_hit=False,
+                            worker=_worker_tag(),
+                            status="failed",
+                            attempts=attempt,
+                            error=_describe(exc),
+                        )
+                    )
+                    raise
+                time.sleep(
+                    backoff_seconds(
+                        self.policy.backoff_base, self.policy.backoff_max,
+                        self.policy.jitter, self.options.seed,
+                        stage, index, attempt,
+                    )
+                )
         fit_delta = fitkernel.snapshot() - fit_before
         # Keep the delta exclusive: nested stage resolutions already
         # recorded their own fit work (wall seconds stay cumulative,
@@ -138,6 +429,8 @@ class Executor:
                 output_bytes=artifact_nbytes(value),
                 worker=_worker_tag(),
                 fit=fit_delta or None,
+                status="retried" if attempt else "ok",
+                attempts=attempt + 1,
             )
         )
         return value
@@ -171,6 +464,14 @@ class Executor:
         are inserted into this executor's cache, and the workers' stage
         records are merged into :attr:`report` — so a parallel sweep
         leaves the parent in the same queryable state as a serial one.
+
+        Under the executor's :class:`ExecutionPolicy` a window whose
+        task crashes, hangs past ``task_timeout`` or kills its worker
+        is retried (respawning the pool when needed, falling back to
+        in-parent serial execution for repeat worker-killers); a window
+        that exhausts its retries is recorded as ``degraded`` in the
+        report and omitted from the returned list, so every surviving
+        window still gets its estimate.
         """
         from repro.analysis.windows import standard_windows
 
@@ -179,21 +480,103 @@ class Executor:
             w for w in windows if self.key_for("window_result", w) not in self.cache
         ]
         if workers <= 1 or len(pending) <= 1:
-            return [self.window_result(w) for w in windows]
-        payload = pickle.dumps((self.internet, self.sources, self.options))
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
-            initializer=_window_worker_init,
-            initargs=(payload,),
-        ) as pool:
-            futures = [
-                pool.submit(_window_worker_run, (w.start, w.end)) for w in pending
-            ]
-            for window, future in zip(pending, futures):
-                result, records = future.result()
-                self.cache.put(self.key_for("window_result", window), result)
+            out = []
+            for w in windows:
+                try:
+                    out.append(self.window_result(w))
+                except Exception as exc:
+                    if not self.policy.degrade:
+                        raise
+                    self.report.record(
+                        StageRecord(
+                            stage="window_result",
+                            key=self.key_for("window_result", w).token(),
+                            seconds=0.0,
+                            cache_hit=False,
+                            worker=_worker_tag(),
+                            status="degraded",
+                            attempts=self.policy.retries + 1,
+                            error=_describe(exc),
+                        )
+                    )
+            return out
+        payload = pickle.dumps(
+            (self.internet, self.sources, self.options, self.faults)
+        )
+
+        def make_pool(n: int) -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=n,
+                initializer=_window_worker_init,
+                initargs=(payload,),
+            )
+
+        def submit(pool, index, attempt, window):
+            return pool.submit(
+                _window_worker_run, ((window.start, window.end), index, attempt)
+            )
+
+        def serial_run(index, attempt, window):
+            if self.faults is not None:
+                self.faults.fire("window_result", index, attempt)
+            with self._stage_faults_suppressed():
+                return self.window_result(window), None
+
+        outcomes = _resilient_pool_map(
+            pending,
+            stage="window_result",
+            workers=workers,
+            make_pool=make_pool,
+            submit=submit,
+            serial_run=serial_run,
+            policy=self.policy,
+            seed=self.options.seed,
+        )
+        computed: dict[TimeWindow, WindowResult] = {}
+        for window, outcome in zip(pending, outcomes):
+            key = self.key_for("window_result", window)
+            if outcome.status == "degraded":
+                self.report.record(
+                    StageRecord(
+                        stage="window_result",
+                        key=key.token(),
+                        seconds=outcome.seconds,
+                        cache_hit=False,
+                        worker="pool",
+                        status="degraded",
+                        attempts=outcome.attempts,
+                        error=outcome.error,
+                    )
+                )
+                continue
+            result, records = outcome.payload
+            if records:
                 self.report.merge(RunReport(records=records))
-        return [self.window_result(w) for w in windows]
+            self.cache.put(key, result)
+            computed[window] = result
+            if outcome.status == "retried":
+                self.report.record(
+                    StageRecord(
+                        stage="window_result",
+                        key=key.token(),
+                        seconds=outcome.seconds,
+                        cache_hit=False,
+                        worker="pool",
+                        status="retried",
+                        attempts=outcome.attempts,
+                        error=outcome.error,
+                    )
+                )
+        # Return the computed objects directly: presence in the cache is
+        # not a proxy for success (a tiny budget can evict a fresh
+        # WindowResult, which has no spillable payload).
+        out = []
+        for w in windows:
+            if w in computed:
+                out.append(computed[w])
+            elif self.key_for("window_result", w) in self.cache:
+                out.append(self.window_result(w))
+        return out
 
     def stratified(
         self,
@@ -247,27 +630,39 @@ class Executor:
 
 # -- process-pool plumbing --------------------------------------------------
 
-#: Worker-process executor, built once per worker by the initializer.
+#: Worker-process executor and injector, built once by the initializer.
 _WORKER_EXECUTOR: Executor | None = None
+_WORKER_FAULTS: FaultInjector | None = None
 
 
 def _window_worker_init(payload: bytes) -> None:
-    global _WORKER_EXECUTOR
-    internet, sources, options = pickle.loads(payload)
+    global _WORKER_EXECUTOR, _WORKER_FAULTS
+    internet, sources, options, faults = pickle.loads(payload)
+    # The worker executor itself carries no injector: task-level faults
+    # are fired by the wrapper below, keyed by sweep task index, which
+    # stays deterministic however tasks land on workers.
     _WORKER_EXECUTOR = Executor(internet, sources, options)
+    _WORKER_FAULTS = faults
 
 
-def _window_worker_run(bounds: tuple[float, float]) -> tuple[WindowResult, list]:
+def _window_worker_run(
+    job: tuple[tuple[float, float], int, int]
+) -> tuple[WindowResult, list]:
     from repro.analysis.windows import TimeWindow
 
+    bounds, index, attempt = job
     assert _WORKER_EXECUTOR is not None, "worker initializer did not run"
+    if _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.fire("window_result", index, attempt)
     before = len(_WORKER_EXECUTOR.report.records)
     result = _WORKER_EXECUTOR.window_result(TimeWindow(*bounds))
     return result, _WORKER_EXECUTOR.report.records[before:]
 
 
-#: Generic fold-task payload/function, one pair per worker process.
-_TASK_STATE: tuple[Any, Callable[[Any, Any], Any]] | None = None
+#: Generic fold-task payload/function/injector, one tuple per worker.
+_TASK_STATE: tuple[Any, Callable[[Any, Any], Any], FaultInjector | None, str] | None = (
+    None
+)
 
 
 def _task_worker_init(blob: bytes) -> None:
@@ -275,10 +670,13 @@ def _task_worker_init(blob: bytes) -> None:
     _TASK_STATE = pickle.loads(blob)
 
 
-def _task_worker_run(item: Any) -> tuple[Any, float, Any]:
+def _task_worker_run(job: tuple[int, int, Any]) -> tuple[Any, float, Any]:
+    index, attempt, item = job
     assert _TASK_STATE is not None, "worker initializer did not run"
-    payload, func = _TASK_STATE
+    payload, func, faults, stage = _TASK_STATE
     start = perf_counter()
+    if faults is not None:
+        faults.fire(stage, index, attempt)
     fit_before = fitkernel.snapshot()
     value = func(payload, item)
     fit_delta = fitkernel.snapshot() - fit_before
@@ -292,6 +690,9 @@ def fan_out(
     workers: int = 1,
     report: RunReport | None = None,
     stage: str = "task",
+    policy: ExecutionPolicy | None = None,
+    faults: FaultInjector | None = None,
+    seed: int = 0,
 ) -> list[Any]:
     """Run ``func(payload, item)`` per item, optionally across processes.
 
@@ -302,15 +703,49 @@ def fan_out(
     :func:`functools.partial` of one).  Results return in ``items``
     order regardless of completion order, and each task contributes one
     record to ``report``.
+
+    Failures follow ``policy``: tasks retry with backoff, hung tasks
+    time out (the pool is respawned), worker-killing tasks requeue and
+    eventually fall back to serial in-parent execution, and a task that
+    exhausts its retries yields ``None`` in the result list with a
+    ``degraded`` record — callers recompute their aggregate from the
+    surviving tasks.
     """
+    policy = policy or ExecutionPolicy()
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         out = []
-        for item in items:
+        for index, item in enumerate(items):
             start = perf_counter()
-            fit_before = fitkernel.snapshot()
-            out.append(func(payload, item))
-            fit_delta = fitkernel.snapshot() - fit_before
+            attempt = 0
+            error = None
+            value = None
+            status = "ok"
+            fit_delta = None
+            while True:
+                fit_before = fitkernel.snapshot()
+                try:
+                    if faults is not None:
+                        faults.fire(stage, index, attempt)
+                    value = func(payload, item)
+                    fit_delta = fitkernel.snapshot() - fit_before
+                    status = "retried" if attempt else "ok"
+                    attempt += 1
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    error = _describe(exc)
+                    if attempt > policy.retries:
+                        if not policy.degrade:
+                            raise
+                        status = "degraded"
+                        break
+                    time.sleep(
+                        backoff_seconds(
+                            policy.backoff_base, policy.backoff_max,
+                            policy.jitter, seed, stage, index, attempt,
+                        )
+                    )
             if report is not None:
                 report.record(
                     StageRecord(
@@ -320,29 +755,76 @@ def fan_out(
                         cache_hit=False,
                         worker=_worker_tag(),
                         fit=fit_delta or None,
+                        status=status,
+                        attempts=attempt,
+                        error=error,
                     )
                 )
+            out.append(value if status != "degraded" else None)
         return out
-    blob = pickle.dumps((payload, func))
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(items)),
-        initializer=_task_worker_init,
-        initargs=(blob,),
-    ) as pool:
-        futures = [pool.submit(_task_worker_run, item) for item in items]
-        out = []
-        for item, future in zip(items, futures):
-            value, seconds, fit_delta = future.result()
-            out.append(value)
+    blob = pickle.dumps((payload, func, faults, stage))
+
+    def make_pool(n: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=n,
+            initializer=_task_worker_init,
+            initargs=(blob,),
+        )
+
+    def submit(pool, index, attempt, item):
+        return pool.submit(_task_worker_run, (index, attempt, item))
+
+    def serial_run(index, attempt, item):
+        if faults is not None:
+            faults.fire(stage, index, attempt)
+        start = perf_counter()
+        fit_before = fitkernel.snapshot()
+        value = func(payload, item)
+        fit_delta = fitkernel.snapshot() - fit_before
+        return value, perf_counter() - start, fit_delta or None
+
+    outcomes = _resilient_pool_map(
+        items,
+        stage=stage,
+        workers=workers,
+        make_pool=make_pool,
+        submit=submit,
+        serial_run=serial_run,
+        policy=policy,
+        seed=seed,
+    )
+    out = []
+    for item, outcome in zip(items, outcomes):
+        if outcome.status == "degraded":
+            out.append(None)
             if report is not None:
                 report.record(
                     StageRecord(
                         stage=stage,
                         key=repr(item),
-                        seconds=seconds,
+                        seconds=outcome.seconds,
                         cache_hit=False,
                         worker="pool",
-                        fit=fit_delta,
+                        status="degraded",
+                        attempts=outcome.attempts,
+                        error=outcome.error,
                     )
                 )
+            continue
+        value, seconds, fit_delta = outcome.payload
+        out.append(value)
+        if report is not None:
+            report.record(
+                StageRecord(
+                    stage=stage,
+                    key=repr(item),
+                    seconds=seconds,
+                    cache_hit=False,
+                    worker="pool",
+                    fit=fit_delta,
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                    error=outcome.error,
+                )
+            )
     return out

@@ -1,0 +1,193 @@
+"""Deterministic fault injection and the engine's execution policy.
+
+Combining nine heterogeneous measurement feeds only works if a run
+survives the partial failures that real feeds exhibit — crashed
+workers, hung fits, truncated spill files.  This module provides the
+:class:`FaultInjector`: a seeded, picklable source of injected
+failures (exceptions, delays, worker kills, spill corruption) keyed by
+``(stage, task index, attempt)``, so every recovery path of the
+executor's :class:`~repro.engine.executor.ExecutionPolicy` — retry,
+timeout, pool respawn, serial fallback, degradation — can be driven
+deterministically from a test or from the CLI's ``--inject-faults``
+flag.  :func:`backoff_seconds` (the executor's retry schedule) lives
+here too so the jitter stays a pure function of the run seed.
+
+A fault spec fires on the first ``count`` attempts of its task and
+then stays quiet, which is what makes retry-then-succeed scenarios
+expressible without any cross-process shared state: the attempt number
+travels with the task, and the decision is a pure function of the
+spec.  A ``kill`` spec calls ``os._exit`` only when it fires inside a
+pool worker; fired in the parent process (serial execution or the
+serial fallback) it degrades to an injected exception, so an injector
+can never take down the run it is testing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+#: Exit code used by injected worker kills (visible in pool diagnostics).
+KILL_EXIT_CODE = 87
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("error", "delay", "kill", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """An injected failure (also raised for in-parent ``kill`` faults)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    ``stage`` names the task family the fault targets — a stage name
+    for engine resolutions, the fan-out stage label (``"crossval"``,
+    ``"sweep"``, ``"sensitivity"``, ``"window_result"``) for pool
+    tasks, or ``"*"`` for any.  ``index`` selects the task within the
+    family (submission order, 0-based) and ``count`` bounds how many
+    attempts of that task the fault fires on, so ``count=1`` exercises
+    retry-then-succeed and a large ``count`` forces degradation.
+    """
+
+    stage: str
+    kind: str
+    index: int = 0
+    count: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``stage:kind[:index[:count[:seconds]]]`` (the CLI form).
+
+        Examples: ``window_result:kill:1``, ``fit:error:0:2``,
+        ``crossval:delay:3:1:5.0``, ``preprocess:corrupt``.
+        """
+        parts = text.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                f"fault spec must look like stage:kind[:index[:count"
+                f"[:seconds]]], got {text!r}"
+            )
+        stage, kind = parts[0], parts[1]
+        index = int(parts[2]) if len(parts) > 2 else 0
+        count = int(parts[3]) if len(parts) > 3 else 1
+        seconds = float(parts[4]) if len(parts) > 4 else 0.0
+        return cls(
+            stage=stage, kind=kind, index=index, count=count, seconds=seconds
+        )
+
+    def matches(self, stage: str, index: int, attempt: int) -> bool:
+        """Whether this spec fires for one attempt of one task."""
+        return (
+            (self.stage == "*" or self.stage == stage)
+            and self.index == index
+            and attempt < self.count
+        )
+
+
+class FaultInjector:
+    """Seeded, picklable fault source for the executor and the cache.
+
+    The injector is constructed in the parent process and travels to
+    pool workers inside the initializer payload; ``_home_pid`` records
+    where it was built so ``kill`` faults can tell worker from parent.
+    """
+
+    def __init__(
+        self, specs: Iterable[FaultSpec | str] = (), seed: int = 0
+    ) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(
+            FaultSpec.parse(s) if isinstance(s, str) else s for s in specs
+        )
+        self.seed = seed
+        self._home_pid = os.getpid()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def fire(self, stage: str, index: int, attempt: int = 0) -> None:
+        """Apply matching ``delay``/``error``/``kill`` faults, in that order.
+
+        Delays apply before failures so a single spec pair can model a
+        task that hangs *and then* dies.  Kills exit the process only
+        when running in a pool worker; in the parent they raise
+        :class:`FaultInjected` instead.
+        """
+        matched = [
+            s for s in self.specs
+            if s.kind != "corrupt" and s.matches(stage, index, attempt)
+        ]
+        for spec in matched:
+            if spec.kind == "delay":
+                time.sleep(spec.seconds)
+        for spec in matched:
+            if spec.kind == "kill":
+                if os.getpid() != self._home_pid:
+                    os._exit(KILL_EXIT_CODE)
+                raise FaultInjected(
+                    f"injected kill (in-parent) at {stage}[{index}] "
+                    f"attempt {attempt}"
+                )
+        for spec in matched:
+            if spec.kind == "error":
+                raise FaultInjected(
+                    f"injected error at {stage}[{index}] attempt {attempt}"
+                )
+
+    def corrupt_spill(self, stage: str, index: int, path: Path) -> bool:
+        """Garble a freshly spilled artifact if a ``corrupt`` spec matches.
+
+        ``index`` counts spills per stage (assigned by the cache).
+        Corruption XORs a byte run in the tail of the file — the file
+        stays openable often enough to exercise the checksum path, and
+        a destroyed zip directory exercises the load-error path.
+        """
+        if not any(
+            s.kind == "corrupt" and s.matches(stage, index, 0)
+            for s in self.specs
+        ):
+            return False
+        data = bytearray(path.read_bytes())
+        if not data:
+            return False
+        lo = len(data) // 2
+        for i in range(lo, min(len(data), lo + 64)):
+            data[i] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return True
+
+
+def backoff_seconds(
+    base: float,
+    cap: float,
+    jitter: float,
+    seed: int,
+    stage: str,
+    index: int,
+    attempt: int,
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    The jitter fraction is drawn from a crc32 hash of the (seed,
+    stage, index, attempt) identity, so a rerun with the same seed
+    sleeps the same amount — parallel-vs-serial determinism extends to
+    the retry schedule.
+    """
+    delay = min(cap, base * (2.0 ** max(0, attempt - 1)))
+    token = f"{seed}:{stage}:{index}:{attempt}".encode()
+    fraction = (zlib.crc32(token) % 1000) / 999.0
+    return delay * (1.0 + jitter * fraction)

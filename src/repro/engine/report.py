@@ -16,6 +16,14 @@ from dataclasses import dataclass, field
 from repro.core.fitkernel import FitCounters
 
 
+#: Terminal statuses a record can carry.  ``ok`` is a clean first-try
+#: execution; ``retried`` succeeded after at least one failed attempt;
+#: ``degraded`` exhausted its retries and was dropped from the run's
+#: results (survivors carry the estimate); ``failed`` is a stage that
+#: exhausted retries in a context where degradation is disabled.
+TASK_STATUSES = ("ok", "retried", "degraded", "failed")
+
+
 @dataclass(frozen=True)
 class StageRecord:
     """One stage execution (or cache hit) inside a run."""
@@ -30,6 +38,12 @@ class StageRecord:
     #: Fit-kernel counter delta attributed to this execution (None when
     #: the stage ran no fits, e.g. cache hits and pure-IO stages).
     fit: FitCounters | None = None
+    #: Fault-tolerance outcome (see :data:`TASK_STATUSES`).
+    status: str = "ok"
+    #: Total attempts made (1 for a clean execution).
+    attempts: int = 1
+    #: Last error message, for ``retried``/``degraded``/``failed``.
+    error: str | None = None
 
 
 @dataclass
@@ -73,6 +87,27 @@ class RunReport:
     @property
     def cache_misses(self) -> int:
         return sum(1 for r in self.records if not r.cache_hit)
+
+    # -- fault-tolerance views --------------------------------------------
+
+    def degraded_records(self) -> list[StageRecord]:
+        """Tasks that exhausted their retries and were dropped."""
+        return [r for r in self.records if r.status == "degraded"]
+
+    def retried_records(self) -> list[StageRecord]:
+        """Tasks that succeeded only after at least one failed attempt."""
+        return [r for r in self.records if r.status == "retried"]
+
+    @property
+    def degraded_count(self) -> int:
+        return len(self.degraded_records())
+
+    @property
+    def retry_count(self) -> int:
+        """Total failed attempts behind this run's surviving results."""
+        return sum(
+            r.attempts - 1 for r in self.records if r.status == "retried"
+        )
 
     def wall_time(self, stage: str | None = None) -> float:
         """Total recorded seconds, optionally for one stage."""
@@ -127,6 +162,15 @@ class RunReport:
         totals = self.fit_totals()
         if totals:
             out["fit_kernel"] = totals.as_dict()
+        degraded = self.degraded_records()
+        if degraded or self.retry_count:
+            out["fault_tolerance"] = {
+                "retries": self.retry_count,
+                "degraded": [
+                    {"stage": r.stage, "key": r.key, "error": r.error}
+                    for r in degraded
+                ],
+            }
         return out
 
     def summary(self) -> str:
@@ -143,6 +187,14 @@ class RunReport:
             f"total: {self.wall_time():.3f}s, "
             f"{self.cache_hits} hits / {self.cache_misses} misses"
         )
+        degraded = self.degraded_records()
+        if degraded or self.retry_count:
+            lines.append(
+                f"fault tolerance: {self.retry_count} retried attempt(s), "
+                f"{len(degraded)} degraded task(s)"
+            )
+            for r in degraded:
+                lines.append(f"  degraded {r.stage} {r.key}: {r.error}")
         totals = self.fit_totals()
         if totals:
             fit_header = (

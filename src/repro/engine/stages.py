@@ -265,6 +265,11 @@ class Stage:
     #: Whether the artifact is worth keeping across windows (heavy
     #: intermediates are; the cheap composites are too, they are small).
     cacheable: bool = True
+    #: Whether a failed execution may be retried under the executor's
+    #: :class:`~repro.engine.executor.ExecutionPolicy`.  Stage functions
+    #: are pure, so retrying is safe by default; a stage with external
+    #: side effects would opt out here.
+    retryable: bool = True
 
 
 #: The dataflow graph, in topological order.

@@ -166,3 +166,49 @@ class TestSpill:
         cache.put(b, ipset(100))
         assert cache.get(a) is MISS
         assert cache.spills == 0
+
+
+class TestSpillIntegrity:
+    def test_spill_write_is_atomic(self, tmp_path):
+        cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path)
+        cache.put(key(i=0), ipset(100))
+        cache.put(key(i=1), ipset(100, start=200))  # evicts + spills i=0
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".npz"]
+        assert leftovers == []  # no temp files under any other name
+
+    def test_spill_carries_checksum(self, tmp_path):
+        from repro.engine.artifacts import CHECKSUM_KEY
+
+        cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path)
+        cache.put(key(i=0), ipset(100))
+        cache.put(key(i=1), ipset(100, start=200))
+        (path,) = tmp_path.glob("*.npz")
+        with np.load(path) as archive:
+            assert CHECKSUM_KEY in archive.files
+
+    def test_truncated_spill_is_evicted_not_loaded(self, tmp_path):
+        cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path)
+        a = key(i=0)
+        cache.put(a, ipset(100))
+        cache.put(key(i=1), ipset(100, start=200))
+        (path,) = tmp_path.glob("*.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.get(a) is MISS
+        assert cache.corrupt_evictions == 1
+        assert not path.exists()
+
+    def test_bitflipped_spill_fails_checksum(self, tmp_path):
+        cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path)
+        a = key(i=0)
+        cache.put(a, ipset(100))
+        cache.put(key(i=1), ipset(100, start=200))
+        (path,) = tmp_path.glob("*.npz")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.get(a) is MISS
+        assert cache.corrupt_evictions == 1
+
+    def test_stats_count_corrupt_evictions(self, tmp_path):
+        cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path)
+        assert cache.stats()["corrupt_evictions"] == 0
