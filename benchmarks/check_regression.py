@@ -41,6 +41,12 @@ BASELINE_FILES = ("BENCH_perf_core.json", "BENCH_perf_fit.json")
 #: Allowed slowdown of the median before the gate fails.
 DEFAULT_THRESHOLD = 0.30
 
+#: Committed metrics export of the reference observability sweep.
+METRICS_BASELINE = "BENCH_metrics.json"
+
+#: Allowed drop in cache hit rate (absolute) before the warn fires.
+METRICS_HIT_RATE_SLACK = 0.05
+
 
 def load_medians(path: Path) -> dict[str, float]:
     """``{benchmark name: median seconds}`` from one pytest-benchmark JSON."""
@@ -138,6 +144,62 @@ def self_test(threshold: float) -> int:
     return 0
 
 
+def _counter_totals(path: Path) -> dict[str, float]:
+    """Unlabelled counter totals from a ``--metrics-out`` JSON export."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return {
+        c["name"]: float(c["value"])
+        for c in data.get("counters", [])
+        if not c.get("labels")
+    }
+
+
+def _hit_rate(counters: dict[str, float]) -> float | None:
+    hits = counters.get("cache_hits_total", 0.0)
+    misses = counters.get("cache_misses_total", 0.0)
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+def metrics_diff(candidate_path: Path, baseline_path: Path | None = None) -> int:
+    """Warn-only comparison of cache efficiency between metrics exports.
+
+    Unlike the timing gate this never fails CI: cache hit rates shift
+    legitimately when stages are added or keys change, so a drop is a
+    prompt to look, not a blocker.  Always returns 0.
+    """
+    baseline_path = baseline_path or HERE / METRICS_BASELINE
+    if not baseline_path.exists():
+        print(f"metrics: no committed baseline at {baseline_path}, skipping")
+        return 0
+    baseline = _counter_totals(baseline_path)
+    candidate = _counter_totals(candidate_path)
+    base_rate = _hit_rate(baseline)
+    cand_rate = _hit_rate(candidate)
+    if base_rate is None or cand_rate is None:
+        print("metrics: no cache counters on one side, skipping")
+        return 0
+    drop = base_rate - cand_rate
+    verdict = "WARN" if drop > METRICS_HIT_RATE_SLACK else "ok"
+    print(
+        f"{verdict:4s} cache hit rate: {cand_rate:.1%} vs baseline "
+        f"{base_rate:.1%} ({drop:+.1%} drop)"
+    )
+    for name in ("cache_evictions_total", "cache_corrupt_evictions_total"):
+        base_v, cand_v = baseline.get(name, 0.0), candidate.get(name, 0.0)
+        if cand_v > base_v:
+            print(f"WARN {name}: {cand_v:.0f} vs baseline {base_v:.0f}")
+    if verdict == "WARN":
+        print(
+            "cache hit rate dropped past the slack; look for a changed "
+            "artifact key or a stage no longer caching (warn-only, not "
+            "failing the build)"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -157,11 +219,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="verify the gate detects a synthetic 2x slowdown, then exit",
     )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        help="metrics JSON export (repro --metrics-out) to diff cache "
+        "efficiency against the committed BENCH_metrics.json (warn-only)",
+    )
     args = parser.parse_args(argv)
     if args.self_test:
         return self_test(args.threshold)
+    if args.metrics is not None:
+        code = metrics_diff(args.metrics)
+        if args.candidate is None:
+            return code
     if args.candidate is None:
-        parser.error("candidate JSON required unless --self-test")
+        parser.error("candidate JSON required unless --self-test/--metrics")
     return gate(args.candidate, args.threshold)
 
 

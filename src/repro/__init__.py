@@ -36,7 +36,23 @@ from repro.core import (
     tabulate_histories,
 )
 from repro.ipspace import IntervalSet, IPSet, Prefix, PrefixTrie
-from repro.engine import ArtifactCache, Executor, RunReport
+from repro.engine import (
+    ArtifactCache,
+    ExecutionPolicy,
+    Executor,
+    FaultInjector,
+    FaultSpec,
+    RunReport,
+    WindowResult,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    RunLedger,
+    Tracer,
+    get_global_metrics,
+    render_run_report,
+)
 from repro.analysis import (
     EstimationPipeline,
     PipelineOptions,
@@ -49,31 +65,46 @@ from repro.sources import build_standard_sources
 __version__ = "1.0.0"
 
 __all__ = [
-    "ArtifactCache",
+    # estimation core
     "CaptureRecapture",
     "ContingencyTable",
-    "EstimationPipeline",
     "EstimatorOptions",
-    "Executor",
-    "RunReport",
-    "IPSet",
-    "IntervalSet",
     "LoglinearModel",
-    "PipelineOptions",
     "PopulationEstimate",
-    "Prefix",
-    "PrefixTrie",
-    "SimulationConfig",
-    "SyntheticInternet",
-    "TimeWindow",
-    "build_standard_sources",
     "chao_estimate",
     "lincoln_petersen_estimate",
     "lincoln_petersen_from_sets",
     "profile_likelihood_interval",
     "select_model",
-    "standard_windows",
     "stratified_estimate",
     "tabulate_histories",
+    # address-space substrate
+    "IPSet",
+    "IntervalSet",
+    "Prefix",
+    "PrefixTrie",
+    # execution engine
+    "ArtifactCache",
+    "ExecutionPolicy",
+    "Executor",
+    "FaultInjector",
+    "FaultSpec",
+    "RunReport",
+    "WindowResult",
+    # observability
+    "MetricsRegistry",
+    "Observer",
+    "RunLedger",
+    "Tracer",
+    "get_global_metrics",
+    "render_run_report",
+    # pipeline / simulator
+    "EstimationPipeline",
+    "PipelineOptions",
+    "SimulationConfig",
+    "SyntheticInternet",
+    "TimeWindow",
+    "build_standard_sources",
+    "standard_windows",
     "__version__",
 ]

@@ -1,0 +1,45 @@
+"""Deprecated keyword-alias resolution for frozen config dataclasses.
+
+The configuration surface grew across PRs with drifting spellings
+(``retries`` vs ``max_retries``, ``task_timeout`` vs ``timeout_s``).
+Each option now has one canonical keyword; the old spellings are
+accepted for one release through :func:`resolve_deprecated_aliases`,
+which warns with :class:`DeprecationWarning` and rejects calls that
+pass both spellings at once.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Mapping
+
+
+def resolve_deprecated_aliases(
+    cls_name: str,
+    given: Mapping[str, Any],
+    aliases: Mapping[str, str],
+) -> dict[str, Any]:
+    """Map deprecated keyword spellings onto their canonical names.
+
+    ``given`` holds the unrecognised keywords a constructor collected;
+    every key must be a known alias (anything else is the usual
+    unexpected-keyword ``TypeError``).  Returns ``{canonical: value}``.
+    """
+    resolved: dict[str, Any] = {}
+    for name, value in given.items():
+        canonical = aliases.get(name)
+        if canonical is None:
+            raise TypeError(
+                f"{cls_name}.__init__() got an unexpected keyword argument {name!r}"
+            )
+        if canonical in resolved:
+            raise TypeError(
+                f"{cls_name}() got multiple deprecated aliases for {canonical!r}"
+            )
+        warnings.warn(
+            f"{cls_name}({name}=...) is deprecated; use {canonical}=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        resolved[canonical] = value
+    return resolved

@@ -27,6 +27,7 @@ if TYPE_CHECKING:
     from repro.analysis.windows import TimeWindow
     from repro.engine.executor import ExecutionPolicy, Executor
     from repro.engine.faults import FaultInjector
+    from repro.obs.observer import Observer
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,7 @@ def cross_validate_all(
     policy: "ExecutionPolicy | None" = None,
     faults: "FaultInjector | None" = None,
     seed: int = 0,
+    observer: "Observer | None" = None,
 ) -> list[CrossValidationResult]:
     """Cross-validate every source in turn.
 
@@ -138,7 +140,7 @@ def cross_validate_all(
     results = fan_out(
         dict(datasets), func, list(datasets),
         workers=workers, report=report, stage="crossval",
-        policy=policy, faults=faults, seed=seed,
+        policy=policy, faults=faults, seed=seed, observer=observer,
     )
     return [r for r in results if r is not None]
 
@@ -165,6 +167,7 @@ def cross_validate_window(
         policy=getattr(engine, "policy", None),
         faults=getattr(engine, "faults", None),
         seed=engine.options.seed,
+        observer=getattr(engine, "observer", None),
         **kwargs,
     )
 
@@ -216,6 +219,7 @@ def sweep_selection_settings(
     policy: "ExecutionPolicy | None" = None,
     faults: "FaultInjector | None" = None,
     seed: int = 0,
+    observer: "Observer | None" = None,
 ) -> list[SettingSweepRow]:
     """Cross-validation error per model-selection setting (Table 3).
 
@@ -236,7 +240,7 @@ def sweep_selection_settings(
     errors = fan_out(
         tuple(window_datasets), _sweep_fold_error, tasks,
         workers=workers, report=report, stage="sweep",
-        policy=policy, faults=faults, seed=seed,
+        policy=policy, faults=faults, seed=seed, observer=observer,
     )
     rows = []
     cursor = 0

@@ -30,6 +30,7 @@ from repro.engine.stages import (
     WindowResult,
 )
 from repro.ipspace.ipset import IPSet
+from repro.obs.observer import Observer
 from repro.analysis.windows import TimeWindow, standard_windows
 from repro.simnet.internet import SyntheticInternet
 from repro.sources.base import MeasurementSource
@@ -53,11 +54,19 @@ class EstimationPipeline:
         options: PipelineOptions | None = None,
         *,
         engine: Executor | None = None,
+        observer: "Observer | None" = None,
     ) -> None:
-        self.engine = engine or Executor(internet, sources, options)
+        self.engine = engine or Executor(
+            internet, sources, options, observer=observer
+        )
         self.internet = self.engine.internet
         self.options = self.engine.options
         self.sources = self.engine.sources
+
+    @property
+    def observer(self) -> "Observer":
+        """The run's telemetry context (disabled unless one was passed)."""
+        return self.engine.observer
 
     @property
     def report(self) -> RunReport:

@@ -23,6 +23,7 @@ if TYPE_CHECKING:
     from repro.analysis.windows import TimeWindow
     from repro.engine.executor import ExecutionPolicy, Executor
     from repro.engine.faults import FaultInjector
+    from repro.obs.observer import Observer
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,7 @@ def leave_one_out_sensitivity(
     policy: "ExecutionPolicy | None" = None,
     faults: "FaultInjector | None" = None,
     seed: int = 0,
+    observer: "Observer | None" = None,
 ) -> SensitivityReport:
     """Re-estimate with each source removed in turn.
 
@@ -89,7 +91,7 @@ def leave_one_out_sensitivity(
     estimates = fan_out(
         payload, _estimate_without, [None, *datasets],
         workers=workers, report=report, stage="sensitivity",
-        policy=policy, faults=faults, seed=seed,
+        policy=policy, faults=faults, seed=seed, observer=observer,
     )
     baseline, rest = estimates[0], estimates[1:]
     if baseline is None:
@@ -138,4 +140,5 @@ def source_leverage_window(
         policy=getattr(engine, "policy", None),
         faults=getattr(engine, "faults", None),
         seed=engine.options.seed,
+        observer=getattr(engine, "observer", None),
     )

@@ -38,6 +38,9 @@ from repro.analysis.supply import supply_by_rir, world_supply
 from repro.analysis.windows import TimeWindow
 from repro.engine.executor import ExecutionPolicy, Executor
 from repro.engine.faults import FaultInjector, FaultSpec
+from repro.obs.ledger import RunLedger, absorb_engine_accounting
+from repro.obs.observer import Observer
+from repro.obs.reporting import render_run_report
 from repro.simnet.internet import SimulationConfig, SyntheticInternet
 
 
@@ -74,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "SPEC is stage:kind[:index[:count[:seconds]]] with "
                         "kind one of error/delay/kill/corrupt, e.g. "
                         "window_result:kill:1 or crossval:delay:0:1:5")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="enable tracing and persist the run ledger "
+                        "(spans, metrics, events, provenance) to DIR; "
+                        "render it later with 'repro report DIR'")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="enable metrics and write the JSON metrics "
+                        "export to PATH after the run")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("simulate", help="build the synthetic Internet and "
@@ -131,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
     files.add_argument("--limit", type=float, default=None,
                        help="optional population bound (routed size) for "
                        "truncated estimation")
+
+    report = sub.add_parser(
+        "report",
+        help="render a persisted run ledger (written by --trace)",
+    )
+    report.add_argument("run_dir", help="run directory written by --trace")
+    report.add_argument("--top", type=int, default=10,
+                        help="how many slowest spans to show (default 10)")
     return parser
 
 
@@ -151,8 +169,47 @@ def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
         if args.inject_faults
         else None
     )
-    engine = Executor(internet, policy=policy, faults=faults)
-    return EstimationPipeline(internet, engine=engine)
+    observer = Observer() if (args.trace or args.metrics_out) else None
+    engine = Executor(
+        internet, policy=policy, faults=faults, observer=observer
+    )
+    pipeline = EstimationPipeline(internet, engine=engine)
+    if observer is not None and args.trace:
+        # Built here, not at finalize, so the ledger clocks the whole run.
+        args._obs_ledger = RunLedger(
+            args.trace,
+            seed=args.seed,
+            options=pipeline.options,
+            policy=policy,
+        )
+    args._obs_pipeline = pipeline
+    return pipeline
+
+
+def _finalize_observability(args: argparse.Namespace) -> None:
+    """Persist the run ledger and/or metrics export, if requested."""
+    pipeline = getattr(args, "_obs_pipeline", None)
+    if pipeline is None or not (args.trace or args.metrics_out):
+        return
+    observer = pipeline.engine.observer
+    ledger = getattr(args, "_obs_ledger", None)
+    if ledger is not None:
+        run_dir = ledger.finalize(
+            observer, report=pipeline.report, cache=pipeline.engine.cache
+        )
+        print(f"\nrun ledger written to {run_dir} "
+              f"(render with: python -m repro report {run_dir})")
+    else:
+        absorb_engine_accounting(
+            observer, report=pipeline.report, cache=pipeline.engine.cache
+        )
+    if args.metrics_out:
+        from pathlib import Path
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(observer.metrics.to_json_text() + "\n")
+        print(f"metrics written to {path}")
 
 
 def _print_fault_summary(pipeline: EstimationPipeline) -> None:
@@ -380,6 +437,18 @@ def cmd_estimate_files(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a run ledger written by ``--trace``."""
+    from pathlib import Path
+
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"no run directory at {run_dir}", file=sys.stderr)
+        return 2
+    print(render_run_report(run_dir, top=args.top))
+    return 0
+
+
 COMMANDS = {
     "simulate": cmd_simulate,
     "estimate": cmd_estimate,
@@ -389,13 +458,16 @@ COMMANDS = {
     "sensitivity": cmd_sensitivity,
     "churn": cmd_churn,
     "estimate-files": cmd_estimate_files,
+    "report": cmd_report,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen command."""
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    code = COMMANDS[args.command](args)
+    _finalize_observability(args)
+    return code
 
 
 if __name__ == "__main__":

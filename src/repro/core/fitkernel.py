@@ -39,10 +39,13 @@ the parent inside stage records, exactly like wall-time instrumentation.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, fields
 
 import numpy as np
 from scipy.linalg.lapack import dposv
+
+from repro.obs.metrics import get_global_metrics
 
 
 @dataclass(frozen=True)
@@ -82,31 +85,63 @@ class FitCounters:
         return {f.name: int(getattr(self, f.name)) for f in fields(self)}
 
 
-_LOCK = threading.Lock()
-#: Mutable accumulator behind :func:`record` — a plain dict keeps the
-#: per-fit recording cost at a couple of microseconds (rebuilding a
-#: frozen dataclass per update measurably taxed the small-fit path).
-_TOTALS: dict[str, int] = {f.name: 0 for f in fields(FitCounters)}
+#: Registry prefix under which the fit counters live in the process-global
+#: :class:`~repro.obs.metrics.MetricsRegistry` (``fit_fits``,
+#: ``fit_irls_iterations``, ...).
+FIT_METRIC_PREFIX = "fit_"
+
+_COUNTER_NAMES = tuple(f.name for f in fields(FitCounters))
 
 
 def record(**deltas: int) -> None:
-    """Add deltas to the process-wide totals (thread-safe)."""
-    with _LOCK:
-        for name, value in deltas.items():
-            _TOTALS[name] += value
+    """Add deltas to the process-wide totals (thread-safe).
+
+    The totals live in the process-global metrics registry
+    (:func:`repro.obs.metrics.get_global_metrics`) under the ``fit_``
+    prefix; ``inc_many`` keeps the per-fit cost at one lock
+    acquisition, matching the plain-dict accumulator it replaced.
+    """
+    get_global_metrics().inc_many(
+        {FIT_METRIC_PREFIX + name: value for name, value in deltas.items()}
+    )
 
 
 def snapshot() -> FitCounters:
     """The current totals; subtract two snapshots to scope a region."""
-    with _LOCK:
-        return FitCounters(**_TOTALS)
+    totals = get_global_metrics().counters_with_prefix(FIT_METRIC_PREFIX)
+    prefix_len = len(FIT_METRIC_PREFIX)
+    return FitCounters(
+        **{
+            name[prefix_len:]: int(value)
+            for name, value in totals.items()
+            if name[prefix_len:] in _COUNTER_NAMES
+        }
+    )
 
 
 def reset_counters() -> None:
     """Zero the totals (tests and benchmarks)."""
-    with _LOCK:
-        for name in _TOTALS:
-            _TOTALS[name] = 0
+    get_global_metrics().reset(FIT_METRIC_PREFIX)
+
+
+def __getattr__(name: str):  # PEP 562: deprecated module attributes
+    if name == "_TOTALS":
+        warnings.warn(
+            "fitkernel._TOTALS is deprecated; read counters via "
+            "repro.obs.get_global_metrics() or fitkernel.snapshot()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {name: getattr(snapshot(), name) for name in _COUNTER_NAMES}
+    if name == "_LOCK":
+        warnings.warn(
+            "fitkernel._LOCK is deprecated; the metrics registry "
+            "synchronises internally",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return threading.Lock()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 #: Cholesky pivot-ratio floor below which a solve is considered

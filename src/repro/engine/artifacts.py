@@ -13,6 +13,7 @@ and restore them transparently on the next ``get``.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import sys
 import zlib
@@ -28,6 +29,9 @@ from repro.ipspace.ipset import IPSet
 
 if TYPE_CHECKING:
     from repro.engine.faults import FaultInjector
+    from repro.obs.observer import Observer
+
+logger = logging.getLogger(__name__)
 
 #: Default in-memory budget (bytes) before the LRU starts evicting.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
@@ -137,6 +141,17 @@ def _payload_checksum(payload: Mapping[str, np.ndarray]) -> int:
 class CorruptSpillError(RuntimeError):
     """A spilled artifact failed its checksum or could not be decoded."""
 
+    def __init__(
+        self,
+        message: str,
+        *,
+        stored_crc: int | None = None,
+        computed_crc: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stored_crc = stored_crc
+        self.computed_crc = computed_crc
+
 
 class ArtifactCache:
     """LRU artifact cache with size accounting and optional disk spill.
@@ -162,12 +177,16 @@ class ArtifactCache:
         max_bytes: int = DEFAULT_MAX_BYTES,
         spill_dir: str | Path | None = None,
         faults: "FaultInjector | None" = None,
+        observer: "Observer | None" = None,
     ) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.max_bytes = max_bytes
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.faults = faults
+        #: Telemetry sink for cache events (corrupt-spill warnings).  An
+        #: executor adopts its observer onto an unclaimed cache.
+        self.observer = observer
         self._entries: OrderedDict[ArtifactKey, Artifact] = OrderedDict()
         self._spilled: dict[ArtifactKey, Path] = {}
         self._spill_counts: dict[str, int] = {}
@@ -202,10 +221,11 @@ class ArtifactCache:
         if path is not None and path.exists():
             try:
                 value = self._load_spill(path)
-            except CorruptSpillError:
+            except CorruptSpillError as exc:
                 del self._spilled[key]
                 path.unlink(missing_ok=True)
                 self.corrupt_evictions += 1
+                self._warn_corrupt(key, path, exc)
             else:
                 del self._spilled[key]
                 self.restores += 1
@@ -226,8 +246,15 @@ class ArtifactCache:
         checksum = payload.pop(CHECKSUM_KEY, None)
         if checksum is None or not payload:
             raise CorruptSpillError(f"spill {path.name} has no checksum")
-        if int(checksum) != _payload_checksum(payload):
-            raise CorruptSpillError(f"checksum mismatch in {path.name}")
+        stored = int(checksum)
+        computed = _payload_checksum(payload)
+        if stored != computed:
+            raise CorruptSpillError(
+                f"checksum mismatch in {path.name}: "
+                f"stored crc32 {stored:#010x} != computed {computed:#010x}",
+                stored_crc=stored,
+                computed_crc=computed,
+            )
         return _restore_payload(payload)
 
     def put(self, key: ArtifactKey, value: Any) -> None:
@@ -278,6 +305,25 @@ class ArtifactCache:
         self._spill_counts[key.stage] = index + 1
         if self.faults is not None:
             self.faults.corrupt_spill(key.stage, index, path)
+
+    def _warn_corrupt(
+        self, key: ArtifactKey, path: Path, exc: CorruptSpillError
+    ) -> None:
+        """Surface a corrupt-entry eviction: structured event + warning log."""
+        attrs: dict[str, Any] = {
+            "key": key.token(),
+            "stage": key.stage,
+            "path": str(path),
+            "error": str(exc),
+        }
+        if exc.stored_crc is not None:
+            attrs["stored_crc"] = f"{exc.stored_crc:#010x}"
+            attrs["computed_crc"] = f"{exc.computed_crc:#010x}"
+        if self.observer is not None:
+            self.observer.event("cache.corrupt_spill", level="warning", **attrs)
+        else:
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            logger.warning("cache.corrupt_spill %s", detail)
 
     def stats(self) -> dict[str, int]:
         """Counters snapshot for reports and benches."""

@@ -47,11 +47,13 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable, Mapping, Sequence
 
+from repro._aliases import resolve_deprecated_aliases
 from repro.core import fitkernel
 from repro.core.stratified import Labeler, StratifiedEstimate, stratified_estimate
 from repro.engine.artifacts import MISS, ArtifactCache, ArtifactKey, artifact_nbytes
 from repro.engine.faults import FaultInjector, backoff_seconds
 from repro.engine.report import RunReport, StageRecord
+from repro.obs.observer import Observer, ObserverDelta
 from repro.engine.stages import (
     STAGES,
     PipelineOptions,
@@ -77,13 +79,27 @@ def _describe(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-@dataclass(frozen=True)
+#: Deprecated ExecutionPolicy keyword spellings -> canonical names.
+_POLICY_ALIASES = {
+    "max_retries": "retries",
+    "timeout_s": "task_timeout",
+    "timeout": "task_timeout",
+}
+
+_UNSET = object()
+
+
+@dataclass(frozen=True, init=False)
 class ExecutionPolicy:
     """How the executor treats failing, hanging or worker-killing tasks.
 
     The policy never changes *what* a run computes — stages are pure,
     so a retried task converges to the same artifact — only whether a
     partial failure takes the whole run down with it.
+
+    Deprecated keyword aliases (``max_retries``, ``timeout_s``,
+    ``timeout``) are accepted with a :class:`DeprecationWarning` and
+    resolve to their canonical fields.
     """
 
     #: Extra attempts after the first, per stage resolution / pool task.
@@ -103,6 +119,53 @@ class ExecutionPolicy:
     #: Record-and-drop tasks that exhaust their retries instead of
     #: re-raising (the surviving tasks still produce their estimates).
     degrade: bool = True
+
+    def __init__(
+        self,
+        retries: int = _UNSET,  # type: ignore[assignment]
+        backoff_base: float = _UNSET,  # type: ignore[assignment]
+        backoff_max: float = _UNSET,  # type: ignore[assignment]
+        jitter: float = _UNSET,  # type: ignore[assignment]
+        task_timeout: float | None = _UNSET,  # type: ignore[assignment]
+        pool_kill_limit: int = _UNSET,  # type: ignore[assignment]
+        serial_fallback: bool = _UNSET,  # type: ignore[assignment]
+        degrade: bool = _UNSET,  # type: ignore[assignment]
+        **deprecated: Any,
+    ) -> None:
+        defaults = {
+            "retries": 1,
+            "backoff_base": 0.05,
+            "backoff_max": 2.0,
+            "jitter": 0.25,
+            "task_timeout": None,
+            "pool_kill_limit": 2,
+            "serial_fallback": True,
+            "degrade": True,
+        }
+        explicit = {
+            name: value
+            for name, value in (
+                ("retries", retries),
+                ("backoff_base", backoff_base),
+                ("backoff_max", backoff_max),
+                ("jitter", jitter),
+                ("task_timeout", task_timeout),
+                ("pool_kill_limit", pool_kill_limit),
+                ("serial_fallback", serial_fallback),
+                ("degrade", degrade),
+            )
+            if value is not _UNSET
+        }
+        for name, value in resolve_deprecated_aliases(
+            "ExecutionPolicy", deprecated, _POLICY_ALIASES
+        ).items():
+            if name in explicit:
+                raise TypeError(
+                    f"ExecutionPolicy() got both {name!r} and its deprecated alias"
+                )
+            explicit[name] = value
+        for name, default in defaults.items():
+            object.__setattr__(self, name, explicit.get(name, default))
 
 
 @dataclass
@@ -304,6 +367,7 @@ class Executor:
         report: RunReport | None = None,
         policy: ExecutionPolicy | None = None,
         faults: FaultInjector | None = None,
+        observer: Observer | None = None,
     ) -> None:
         from repro.sources.catalog import build_standard_sources
 
@@ -316,9 +380,12 @@ class Executor:
             self.sources.pop(name, None)
         self.policy = policy or ExecutionPolicy()
         self.faults = faults
+        self.observer = observer if observer is not None else Observer.disabled()
         # `is not None`, not `or`: an empty cache/report is falsy.
         self.cache = cache if cache is not None else ArtifactCache(faults=faults)
         self.report = report if report is not None else RunReport()
+        if self.cache.observer is None:
+            self.cache.observer = self.observer
         self.context = RunContext(self)
         #: Per-stage resolution counter: the task index stage-level
         #: faults key on (counts cache misses, stable under retries).
@@ -374,51 +441,55 @@ class Executor:
         index = self._stage_sequence.get(stage, 0)
         self._stage_sequence[stage] = index + 1
         attempt = 0
-        while True:
-            records_before = len(self.report.records)
-            fit_before = fitkernel.snapshot()
-            try:
-                if self.faults is not None and self._fire_stage_faults:
-                    self.faults.fire(stage, index, attempt)
-                value = spec.fn(self.context, window, **params)
-                break
-            except Exception as exc:
-                attempt += 1
-                if not spec.retryable or attempt > self.policy.retries:
-                    self.report.record(
-                        StageRecord(
-                            stage=stage,
-                            key=key.token(),
-                            seconds=perf_counter() - start,
-                            cache_hit=False,
-                            worker=_worker_tag(),
-                            status="failed",
-                            attempts=attempt,
-                            error=_describe(exc),
+        with self.observer.span(f"stage:{stage}", stage=stage, key=key.token()) as span:
+            while True:
+                records_before = len(self.report.records)
+                fit_before = fitkernel.snapshot()
+                try:
+                    if self.faults is not None and self._fire_stage_faults:
+                        self.faults.fire(stage, index, attempt)
+                    value = spec.fn(self.context, window, **params)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if not spec.retryable or attempt > self.policy.retries:
+                        self.report.record(
+                            StageRecord(
+                                stage=stage,
+                                key=key.token(),
+                                seconds=perf_counter() - start,
+                                cache_hit=False,
+                                worker=_worker_tag(),
+                                status="failed",
+                                attempts=attempt,
+                                error=_describe(exc),
+                            )
+                        )
+                        raise
+                    time.sleep(
+                        backoff_seconds(
+                            self.policy.backoff_base, self.policy.backoff_max,
+                            self.policy.jitter, self.options.seed,
+                            stage, index, attempt,
                         )
                     )
-                    raise
-                time.sleep(
-                    backoff_seconds(
-                        self.policy.backoff_base, self.policy.backoff_max,
-                        self.policy.jitter, self.options.seed,
-                        stage, index, attempt,
-                    )
-                )
-        fit_delta = fitkernel.snapshot() - fit_before
-        # Keep the delta exclusive: nested stage resolutions already
-        # recorded their own fit work (wall seconds stay cumulative,
-        # matching profiler convention, but counters must sum to the
-        # process totals).
-        for nested in self.report.records[records_before:]:
-            if nested.fit is not None:
-                fit_delta = fit_delta - nested.fit
-        self.cache.put(key, value)
-        input_bytes = sum(
-            artifact_nbytes(self.cache.get(self.key_for(dep, window)))
-            for dep in spec.deps
-            if self.key_for(dep, window) in self.cache
-        )
+            fit_delta = fitkernel.snapshot() - fit_before
+            # Keep the delta exclusive: nested stage resolutions already
+            # recorded their own fit work (wall seconds stay cumulative,
+            # matching profiler convention, but counters must sum to the
+            # process totals).
+            for nested in self.report.records[records_before:]:
+                if nested.fit is not None:
+                    fit_delta = fit_delta - nested.fit
+            self.cache.put(key, value)
+            input_bytes = sum(
+                artifact_nbytes(self.cache.get(self.key_for(dep, window)))
+                for dep in spec.deps
+                if self.key_for(dep, window) in self.cache
+            )
+            span.set(attempts=attempt + 1)
+            if fit_delta:
+                span.set(fits=fit_delta.fits, irls_iterations=fit_delta.irls_iterations)
         self.report.record(
             StageRecord(
                 stage=stage,
@@ -476,6 +547,14 @@ class Executor:
         from repro.analysis.windows import standard_windows
 
         windows = list(windows) if windows is not None else standard_windows()
+        with self.observer.span(
+            "sweep:windows", windows=len(windows), workers=workers
+        ):
+            return self._run_windows(windows, workers)
+
+    def _run_windows(
+        self, windows: "Sequence[TimeWindow]", workers: int
+    ) -> list[WindowResult]:
         pending = [
             w for w in windows if self.key_for("window_result", w) not in self.cache
         ]
@@ -501,7 +580,8 @@ class Executor:
                     )
             return out
         payload = pickle.dumps(
-            (self.internet, self.sources, self.options, self.faults)
+            (self.internet, self.sources, self.options, self.faults,
+             self.observer.enabled)
         )
 
         def make_pool(n: int) -> ProcessPoolExecutor:
@@ -517,10 +597,12 @@ class Executor:
             )
 
         def serial_run(index, attempt, window):
+            # Runs in the parent: spans land on self.observer directly,
+            # so no delta ships back (the third slot stays None).
             if self.faults is not None:
                 self.faults.fire("window_result", index, attempt)
             with self._stage_faults_suppressed():
-                return self.window_result(window), None
+                return self.window_result(window), None, None
 
         outcomes = _resilient_pool_map(
             pending,
@@ -549,9 +631,13 @@ class Executor:
                     )
                 )
                 continue
-            result, records = outcome.payload
+            result, records, obs_delta = outcome.payload
             if records:
                 self.report.merge(RunReport(records=records))
+            # Absorb telemetry only from the accepted outcome: a killed
+            # and requeued attempt never ships a delta, so task spans
+            # are counted exactly once.
+            self.observer.absorb(obs_delta)
             self.cache.put(key, result)
             computed[window] = result
             if outcome.status == "retried":
@@ -599,19 +685,23 @@ class Executor:
             distribution = "truncated" if limit_per_stratum is not None else "poisson"
         start = perf_counter()
         fit_before = fitkernel.snapshot()
-        result = stratified_estimate(
-            datasets,
-            labeler,
-            min_observed=(
-                opts.min_stratum_observed if min_observed is None else min_observed
-            ),
-            criterion=opts.criterion,
-            divisor=opts.divisor,
-            distribution=distribution,
-            limit_per_stratum=limit_per_stratum,
-            max_order=opts.max_order,
-            max_workers=workers,
-        )
+        with self.observer.span(
+            f"stage:stratified[{level}]", level=level, workers=workers
+        ) as span:
+            result = stratified_estimate(
+                datasets,
+                labeler,
+                min_observed=(
+                    opts.min_stratum_observed if min_observed is None else min_observed
+                ),
+                criterion=opts.criterion,
+                divisor=opts.divisor,
+                distribution=distribution,
+                limit_per_stratum=limit_per_stratum,
+                max_order=opts.max_order,
+                max_workers=workers,
+            )
+            span.set(strata=len(result.strata))
         fit_delta = fitkernel.snapshot() - fit_before
         self.report.record(
             StageRecord(
@@ -637,50 +727,69 @@ _WORKER_FAULTS: FaultInjector | None = None
 
 def _window_worker_init(payload: bytes) -> None:
     global _WORKER_EXECUTOR, _WORKER_FAULTS
-    internet, sources, options, faults = pickle.loads(payload)
+    internet, sources, options, faults, observe = pickle.loads(payload)
     # The worker executor itself carries no injector: task-level faults
     # are fired by the wrapper below, keyed by sweep task index, which
     # stays deterministic however tasks land on workers.
-    _WORKER_EXECUTOR = Executor(internet, sources, options)
+    _WORKER_EXECUTOR = Executor(
+        internet, sources, options,
+        observer=Observer() if observe else None,
+    )
     _WORKER_FAULTS = faults
 
 
 def _window_worker_run(
     job: tuple[tuple[float, float], int, int]
-) -> tuple[WindowResult, list]:
+) -> tuple[WindowResult, list, ObserverDelta | None]:
     from repro.analysis.windows import TimeWindow
 
     bounds, index, attempt = job
     assert _WORKER_EXECUTOR is not None, "worker initializer did not run"
     if _WORKER_FAULTS is not None:
         _WORKER_FAULTS.fire("window_result", index, attempt)
+    observer = _WORKER_EXECUTOR.observer
+    mark = observer.delta_mark()
     before = len(_WORKER_EXECUTOR.report.records)
     result = _WORKER_EXECUTOR.window_result(TimeWindow(*bounds))
-    return result, _WORKER_EXECUTOR.report.records[before:]
+    records = _WORKER_EXECUTOR.report.records[before:]
+    return result, records, observer.collect_delta(mark)
 
 
 #: Generic fold-task payload/function/injector, one tuple per worker.
-_TASK_STATE: tuple[Any, Callable[[Any, Any], Any], FaultInjector | None, str] | None = (
-    None
-)
+_TASK_STATE: tuple[
+    Any, Callable[[Any, Any], Any], FaultInjector | None, str, bool
+] | None = None
+#: Worker-process observer for fold tasks (enabled iff the parent's is).
+_TASK_OBSERVER: Observer | None = None
 
 
 def _task_worker_init(blob: bytes) -> None:
-    global _TASK_STATE
+    global _TASK_STATE, _TASK_OBSERVER
     _TASK_STATE = pickle.loads(blob)
+    _TASK_OBSERVER = Observer() if _TASK_STATE[4] else Observer.disabled()
 
 
-def _task_worker_run(job: tuple[int, int, Any]) -> tuple[Any, float, Any]:
+def _task_worker_run(
+    job: tuple[int, int, Any]
+) -> tuple[Any, float, Any, ObserverDelta | None]:
     index, attempt, item = job
     assert _TASK_STATE is not None, "worker initializer did not run"
-    payload, func, faults, stage = _TASK_STATE
+    payload, func, faults, stage, _ = _TASK_STATE
+    observer = _TASK_OBSERVER if _TASK_OBSERVER is not None else Observer.disabled()
     start = perf_counter()
     if faults is not None:
         faults.fire(stage, index, attempt)
     fit_before = fitkernel.snapshot()
-    value = func(payload, item)
+    mark = observer.delta_mark()
+    with observer.span(f"task:{stage}", stage=stage, index=index):
+        value = func(payload, item)
     fit_delta = fitkernel.snapshot() - fit_before
-    return value, perf_counter() - start, fit_delta or None
+    return (
+        value,
+        perf_counter() - start,
+        fit_delta or None,
+        observer.collect_delta(mark),
+    )
 
 
 def fan_out(
@@ -693,6 +802,7 @@ def fan_out(
     policy: ExecutionPolicy | None = None,
     faults: FaultInjector | None = None,
     seed: int = 0,
+    observer: Observer | None = None,
 ) -> list[Any]:
     """Run ``func(payload, item)`` per item, optionally across processes.
 
@@ -712,6 +822,7 @@ def fan_out(
     surviving tasks.
     """
     policy = policy or ExecutionPolicy()
+    obs = observer if observer is not None else Observer.disabled()
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         out = []
@@ -727,7 +838,8 @@ def fan_out(
                 try:
                     if faults is not None:
                         faults.fire(stage, index, attempt)
-                    value = func(payload, item)
+                    with obs.span(f"task:{stage}", stage=stage, index=index):
+                        value = func(payload, item)
                     fit_delta = fitkernel.snapshot() - fit_before
                     status = "retried" if attempt else "ok"
                     attempt += 1
@@ -762,7 +874,7 @@ def fan_out(
                 )
             out.append(value if status != "degraded" else None)
         return out
-    blob = pickle.dumps((payload, func, faults, stage))
+    blob = pickle.dumps((payload, func, faults, stage, obs.enabled))
 
     def make_pool(n: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -775,13 +887,16 @@ def fan_out(
         return pool.submit(_task_worker_run, (index, attempt, item))
 
     def serial_run(index, attempt, item):
+        # Runs in the parent: the span lands on `obs` directly, so the
+        # delta slot stays None (nothing to ship).
         if faults is not None:
             faults.fire(stage, index, attempt)
         start = perf_counter()
         fit_before = fitkernel.snapshot()
-        value = func(payload, item)
+        with obs.span(f"task:{stage}", stage=stage, index=index):
+            value = func(payload, item)
         fit_delta = fitkernel.snapshot() - fit_before
-        return value, perf_counter() - start, fit_delta or None
+        return value, perf_counter() - start, fit_delta or None, None
 
     outcomes = _resilient_pool_map(
         items,
@@ -811,7 +926,11 @@ def fan_out(
                     )
                 )
             continue
-        value, seconds, fit_delta = outcome.payload
+        value, seconds, fit_delta, obs_delta = outcome.payload
+        # Only accepted outcomes contribute telemetry: requeued or
+        # degraded attempts never reach this branch, so no task span is
+        # double-counted or lost.
+        obs.absorb(obs_delta)
         out.append(value)
         if report is not None:
             report.record(

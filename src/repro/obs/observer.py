@@ -1,0 +1,155 @@
+"""The per-run observability context threaded through the engine.
+
+One :class:`Observer` travels with one run: the executor, the artifact
+cache, the analysis drivers and the CLI all write into the same
+instance, giving every span, counter and event a single home that the
+:class:`~repro.obs.ledger.RunLedger` persists at the end.
+
+Observability is **off by default**.  A disabled observer (the
+executor's default, via :meth:`Observer.disabled`) turns every call
+into a cheap no-op — `span()` returns a shared no-op context manager,
+`event()` and `inc()` return immediately — so the instrumented hot
+paths cost one attribute check when nobody is watching.
+
+Pool workers cannot share the parent's observer.  Instead each worker
+process builds its own enabled observer, and finished work ships an
+:class:`ObserverDelta` — completed spans, counter deltas, events —
+home with the task result, exactly as per-stage ``FitCounters`` deltas
+travel today.  The parent absorbs deltas only for task outcomes it
+accepts, so a killed-and-requeued task contributes its telemetry
+exactly once.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+
+logger = logging.getLogger("repro.obs")
+
+
+@dataclass
+class ObserverDelta:
+    """Picklable telemetry increment shipped from a worker to the parent.
+
+    ``counters`` uses rendered metric keys (see
+    :meth:`MetricsRegistry.collect`), ``spans`` are completed
+    :class:`Span` objects, ``events`` are the structured event dicts.
+    Histograms and gauges do not ship — they are process-local.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.spans or self.counters or self.events)
+
+
+#: Opaque marker returned by :meth:`Observer.delta_mark`.
+DeltaMark = tuple[int, dict[str, float], int]
+
+
+@contextmanager
+def _noop_cm() -> Iterator[Any]:
+    yield NOOP_SPAN
+
+
+class Observer:
+    """Run-scoped telemetry context: tracer + metrics + event log."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events: list[dict[str, Any]] = []
+
+    @classmethod
+    def disabled(cls) -> "Observer":
+        """An observer whose every operation is a no-op."""
+        return cls(enabled=False)
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Context manager for a traced span (no-op when disabled)."""
+        if not self.enabled:
+            return _noop_cm()
+        return self.tracer.span(name, **attributes)
+
+    # -- metrics -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.inc(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value, **labels)
+
+    # -- events ------------------------------------------------------------
+
+    def event(self, name: str, level: str = "info", **attributes: Any) -> None:
+        """Record a structured event and mirror it to ``logging``.
+
+        The logging mirror fires even when the observer is disabled —
+        a corrupt cache entry deserves a warning whether or not anyone
+        asked for a trace.  Only the structured capture is gated.
+        """
+        log_level = getattr(logging, level.upper(), logging.INFO)
+        if attributes:
+            detail = " ".join(f"{k}={v}" for k, v in attributes.items())
+            logger.log(log_level, "%s %s", name, detail)
+        else:
+            logger.log(log_level, "%s", name)
+        if not self.enabled:
+            return
+        self.events.append(
+            {"time": time.time(), "name": name, "level": level, **attributes}
+        )
+        self.metrics.inc(f"events_{level}_total")
+
+    # -- worker delta shipping --------------------------------------------
+
+    def delta_mark(self) -> DeltaMark:
+        """Opaque position marker; pair with :meth:`collect_delta`."""
+        if not self.enabled:
+            return (0, {}, 0)
+        return (self.tracer.mark(), self.metrics.collect(), len(self.events))
+
+    def collect_delta(self, mark: DeltaMark) -> ObserverDelta | None:
+        """Telemetry produced since ``mark``, as a picklable delta."""
+        if not self.enabled:
+            return None
+        span_mark, counters_before, events_mark = mark
+        delta = ObserverDelta(
+            spans=self.tracer.collect_since(span_mark),
+            counters=MetricsRegistry.subtract(self.metrics.collect(), counters_before),
+            events=list(self.events[events_mark:]),
+        )
+        return delta if delta else None
+
+    def absorb(self, delta: ObserverDelta | None) -> None:
+        """Fold a worker's delta into this observer."""
+        if delta is None or not self.enabled:
+            return
+        self.tracer.absorb(delta.spans)
+        if delta.counters:
+            self.metrics.merge_counters(delta.counters)
+        self.events.extend(delta.events)

@@ -1,0 +1,168 @@
+"""Render a persisted run ledger as a human-readable report.
+
+``python -m repro report <run-dir>`` lands here.  The renderer reads
+only the ledger files (`run.json`, `metrics.json`, `trace.jsonl`,
+`events.jsonl`) — it never needs the original process — and prints
+provenance, per-stage timings, the top-N slowest spans, cache
+efficiency, fit-kernel counters and the retry/degradation account.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def _load_json(path: Path) -> dict:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _load_jsonl(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+def _counters(metrics: dict) -> dict[str, float]:
+    """Unlabelled counters from a metrics.json payload, by name."""
+    return {
+        c["name"]: c["value"]
+        for c in metrics.get("counters", [])
+        if not c.get("labels")
+    }
+
+
+def _labelled(metrics: dict, name: str, label: str) -> dict[str, float]:
+    """``{label-value: value}`` for one labelled counter family."""
+    return {
+        c["labels"][label]: c["value"]
+        for c in metrics.get("counters", [])
+        if c["name"] == name and label in c.get("labels", {})
+    }
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    """Minimal right-padded text table (first column left-aligned)."""
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: list[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join(parts)
+
+    return [fmt(headers), "-" * len(fmt(headers))] + [fmt(r) for r in rows]
+
+
+def render_run_report(run_dir: str | Path, top: int = 10) -> str:
+    """The full textual report for one run directory."""
+    run_dir = Path(run_dir)
+    run = _load_json(run_dir / "run.json")
+    metrics = _load_json(run_dir / "metrics.json")
+    spans = _load_jsonl(run_dir / "trace.jsonl")
+    events = _load_jsonl(run_dir / "events.jsonl")
+    counters = _counters(metrics)
+
+    lines: list[str] = [f"run ledger: {run_dir}"]
+
+    # provenance
+    if run:
+        command = " ".join(run.get("command", []))
+        lines.append(f"  command : {command}")
+        if run.get("seed") is not None:
+            lines.append(f"  seed    : {run['seed']}")
+        if run.get("git_revision"):
+            lines.append(f"  git     : {run['git_revision'][:12]}")
+        if run.get("wall_seconds") is not None:
+            lines.append(f"  wall    : {run['wall_seconds']:.2f}s  "
+                         f"(python {run.get('python', '?')})")
+
+    # per-stage timings
+    stage_seconds = _labelled(metrics, "stage_seconds_total", "stage")
+    stage_calls = _labelled(metrics, "stage_calls_total", "stage")
+    stage_hits = _labelled(metrics, "stage_cache_hits_total", "stage")
+    if stage_seconds:
+        lines += ["", "per-stage timings"]
+        rows = [
+            [
+                stage,
+                f"{int(stage_calls.get(stage, 0))}",
+                f"{int(stage_hits.get(stage, 0))}",
+                f"{seconds:.3f}",
+            ]
+            for stage, seconds in sorted(
+                stage_seconds.items(), key=lambda kv: kv[1], reverse=True
+            )
+        ]
+        lines += _table(["stage", "calls", "hits", "seconds"], rows)
+
+    # cache efficiency
+    hits = counters.get("cache_hits_total", 0.0)
+    misses = counters.get("cache_misses_total", 0.0)
+    if hits or misses:
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        lines += [
+            "",
+            f"cache: {int(hits)} hits / {int(misses)} misses "
+            f"({rate:.1%} hit rate), "
+            f"{int(counters.get('cache_evictions_total', 0))} evictions, "
+            f"{int(counters.get('cache_spills_total', 0))} spills, "
+            f"{int(counters.get('cache_restores_total', 0))} restores, "
+            f"{int(counters.get('cache_corrupt_evictions_total', 0))} corrupt",
+        ]
+
+    # fit-kernel counters
+    fit = {
+        name[len("fit_"):-len("_total")]: value
+        for name, value in counters.items()
+        if name.startswith("fit_") and name.endswith("_total")
+    }
+    if fit:
+        lines += [
+            "",
+            "fit kernel: " + ", ".join(
+                f"{int(v)} {k}" for k, v in sorted(fit.items()) if v
+            ),
+        ]
+
+    # retry / degradation table
+    retried = counters.get("tasks_retried_total", 0.0)
+    degraded = counters.get("tasks_degraded_total", 0.0)
+    if retried or degraded:
+        lines += [
+            "",
+            f"fault tolerance: {int(retried)} retried attempt(s), "
+            f"{int(degraded)} degraded task(s)",
+        ]
+    warn_events = [e for e in events if e.get("level") in ("warning", "error")]
+    for event in warn_events:
+        detail = " ".join(
+            f"{k}={v}" for k, v in event.items()
+            if k not in ("time", "name", "level")
+        )
+        lines.append(f"  [{event.get('level')}] {event.get('name')} {detail}".rstrip())
+
+    # slowest spans
+    if spans:
+        lines += ["", f"slowest spans (top {top} of {len(spans)})"]
+        slowest = sorted(spans, key=lambda s: s.get("duration", 0.0), reverse=True)
+        rows = []
+        for span in slowest[:top]:
+            attrs = span.get("attributes", {})
+            detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            rows.append(
+                [
+                    span.get("name", "?"),
+                    f"{span.get('duration', 0.0):.3f}",
+                    f"{span.get('cpu_seconds', 0.0):.3f}",
+                    span.get("status", "?"),
+                    detail[:48],
+                ]
+            )
+        lines += _table(["span", "wall[s]", "cpu[s]", "status", "attributes"], rows)
+
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Nested spans with wall/CPU time, recorded in-process.
+
+A :class:`Span` is one timed unit of work — a run, a stage
+resolution, a pool task, a fit — with a monotonic-clock duration
+(``time.perf_counter``), a CPU-seconds figure (``time.process_time``),
+an epoch start timestamp for cross-process alignment, and free-form
+attributes.  Spans nest: the :class:`Tracer` keeps a per-thread stack,
+so a ``stage:fit`` span opened inside a ``window`` span records that
+parent relation without any caller bookkeeping.
+
+Completed spans accumulate in ``tracer.spans`` and are streamed as
+JSON-lines by the run ledger.  Worker processes run their own tracer
+and ship finished spans back with task results (see
+:class:`~repro.obs.observer.ObserverDelta`); span ids embed the pid so
+merged traces never collide.
+
+No ``repro`` imports here — this module sits below everything.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) timed unit of work."""
+
+    name: str
+    span_id: str
+    parent_id: str | None = None
+    start_time: float = 0.0  # epoch seconds (cross-process alignable)
+    duration: float = 0.0  # monotonic (perf_counter) seconds
+    cpu_seconds: float = 0.0  # process_time seconds
+    status: str = "ok"  # "ok" | "error"
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span; chainable inside ``with``."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start_time=data.get("start_time", 0.0),
+            duration=data.get("duration", 0.0),
+            cpu_seconds=data.get("cpu_seconds", 0.0),
+            status=data.get("status", "ok"),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class _NoopSpan:
+    """Attribute sink returned by a disabled tracer's ``span()``."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Records nested spans on a per-thread stack.
+
+    Thread-safe: each thread nests under its own current span, and the
+    completed-span list is appended under a lock.  Span ids are
+    ``<pid>-<counter>`` so spans merged from pool workers stay unique.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._local = threading.local()
+        self.spans: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> str:
+        return f"{os.getpid()}-{next(self._counter)}"
+
+    def current_span_id(self) -> str | None:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span; it completes (and is recorded) on exit.
+
+        An exception propagating out marks the span ``status="error"``
+        with the exception type attached — the span is still recorded.
+        """
+        stack = self._stack()
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=stack[-1].span_id if stack else None,
+            start_time=time.time(),
+            attributes=dict(attributes),
+        )
+        stack.append(span)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attributes.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.duration = time.perf_counter() - wall0
+            span.cpu_seconds = time.process_time() - cpu0
+            stack.pop()
+            with self._lock:
+                self.spans.append(span)
+
+    # -- merging / delta shipping -----------------------------------------
+
+    def absorb(self, spans: list[Span]) -> None:
+        """Append spans completed elsewhere (a worker, another tracer)."""
+        if spans:
+            with self._lock:
+                self.spans.extend(spans)
+
+    def mark(self) -> int:
+        """Position marker for :meth:`collect_since`."""
+        with self._lock:
+            return len(self.spans)
+
+    def collect_since(self, mark: int) -> list[Span]:
+        """Spans completed after ``mark`` (for worker delta shipping)."""
+        with self._lock:
+            return list(self.spans[mark:])
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """JSON-lines rendering of every completed span, oldest first."""
+        import json
+
+        with self._lock:
+            spans = list(self.spans)
+        return "".join(json.dumps(s.to_dict(), sort_keys=True) + "\n" for s in spans)
+
+    def slowest(self, top: int = 10) -> list[Span]:
+        with self._lock:
+            return sorted(self.spans, key=lambda s: s.duration, reverse=True)[:top]

@@ -212,3 +212,48 @@ class TestSpillIntegrity:
     def test_stats_count_corrupt_evictions(self, tmp_path):
         cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path)
         assert cache.stats()["corrupt_evictions"] == 0
+
+
+class TestCorruptSpillEvents:
+    """Corrupt-entry eviction emits a structured warning (satellite of
+    the observability layer): key, path and the crc mismatch."""
+
+    def corrupt_one(self, tmp_path, observer=None):
+        cache = ArtifactCache(max_bytes=64, spill_dir=tmp_path, observer=observer)
+        a = key(i=0)
+        cache.put(a, ipset(100))
+        cache.put(key(i=1), ipset(100, start=200))
+        (path,) = tmp_path.glob("*.npz")
+        data = bytearray(path.read_bytes())
+        data[-20] ^= 0xFF  # flip a payload bit; npz structure survives
+        path.write_bytes(bytes(data))
+        assert cache.get(a) is MISS
+        return a
+
+    def test_event_carries_key_and_crc_mismatch(self, tmp_path):
+        from repro.obs.observer import Observer
+
+        obs = Observer()
+        a = self.corrupt_one(tmp_path, observer=obs)
+        (event,) = [e for e in obs.events if e["name"] == "cache.corrupt_spill"]
+        assert event["level"] == "warning"
+        assert event["key"] == a.token()
+        assert event["stage"] == a.stage
+        assert "spill" in event["error"]
+        assert obs.metrics.value("events_warning_total") == 1.0
+
+    def test_crc_values_attached_when_known(self, tmp_path):
+        from repro.obs.observer import Observer
+
+        obs = Observer()
+        self.corrupt_one(tmp_path, observer=obs)
+        (event,) = [e for e in obs.events if e["name"] == "cache.corrupt_spill"]
+        if "stored_crc" in event:  # structural damage has no crc pair
+            assert event["stored_crc"] != event["computed_crc"]
+
+    def test_without_observer_falls_back_to_logging(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.engine.artifacts"):
+            self.corrupt_one(tmp_path, observer=None)
+        assert "cache.corrupt_spill" in caplog.text

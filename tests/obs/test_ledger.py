@@ -1,0 +1,137 @@
+"""RunLedger: provenance, engine-accounting absorption, rendering."""
+
+import json
+
+from repro.analysis.windows import TimeWindow
+from repro.engine import Executor
+from repro.obs.ledger import RunLedger, absorb_engine_accounting
+from repro.obs.observer import Observer
+from repro.obs.reporting import render_run_report
+
+WINDOW = TimeWindow(2013.5, 2014.5)
+
+
+def run_once(tiny_internet, tiny_sources, run_dir):
+    """One observed window through the engine, finalized to a ledger."""
+    obs = Observer()
+    engine = Executor(tiny_internet, tiny_sources, observer=obs)
+    with obs.span("run"):
+        engine.window_result(WINDOW)
+    ledger = RunLedger(run_dir, command=["repro", "test"], seed=7)
+    ledger.finalize(obs, report=engine.report, cache=engine.cache)
+    return engine
+
+
+class TestLedgerFiles:
+    def test_writes_complete_run_directory(self, tiny_internet, tiny_sources, tmp_path):
+        run_dir = tmp_path / "run"
+        run_once(tiny_internet, tiny_sources, run_dir)
+        names = {p.name for p in run_dir.iterdir()}
+        assert names == {
+            "run.json", "trace.jsonl", "metrics.json",
+            "metrics.prom", "events.jsonl", "report.json",
+        }
+
+    def test_run_json_provenance(self, tiny_internet, tiny_sources, tmp_path):
+        run_dir = tmp_path / "run"
+        run_once(tiny_internet, tiny_sources, run_dir)
+        run = json.loads((run_dir / "run.json").read_text())
+        assert run["command"] == ["repro", "test"]
+        assert run["seed"] == 7
+        assert run["wall_seconds"] >= 0.0
+        assert run["python"]
+
+    def test_trace_covers_every_stage(self, tiny_internet, tiny_sources, tmp_path):
+        run_dir = tmp_path / "run"
+        run_once(tiny_internet, tiny_sources, run_dir)
+        spans = [
+            json.loads(line)
+            for line in (run_dir / "trace.jsonl").read_text().splitlines()
+        ]
+        names = {s["name"] for s in spans}
+        for stage in ("collect", "preprocess", "tabulate", "fit", "estimate"):
+            assert f"stage:{stage}" in names
+
+    def test_metrics_match_report(self, tiny_internet, tiny_sources, tmp_path):
+        run_dir = tmp_path / "run"
+        engine = run_once(tiny_internet, tiny_sources, run_dir)
+        metrics = json.loads((run_dir / "metrics.json").read_text())
+        counters = {
+            c["name"]: c["value"]
+            for c in metrics["counters"]
+            if not c["labels"]
+        }
+        assert counters["cache_hits_total"] == engine.report.cache_hits
+        assert counters["cache_misses_total"] == engine.report.cache_misses
+        assert counters["tasks_retried_total"] == engine.report.retry_count
+        fit = engine.report.fit_totals()
+        assert counters["fit_fits_total"] == fit.fits
+
+
+class TestAbsorbEngineAccounting:
+    class FakeCache:
+        observer = None
+
+        def stats(self):
+            return {
+                "entries": 3, "bytes": 100, "hits": 4, "misses": 6,
+                "evictions": 1, "spills": 0, "restores": 0,
+                "corrupt_evictions": 0,
+            }
+
+    def test_cache_only(self):
+        obs = Observer()
+        absorb_engine_accounting(obs, cache=self.FakeCache())
+        assert obs.metrics.value("cache_hits_total") == 4.0
+        assert obs.metrics.value("cache_evictions_total") == 1.0
+        assert obs.metrics.gauge("cache_entries") == 3.0
+        assert obs.metrics.gauge("cache_bytes") == 100.0
+
+    def test_report_hit_counts_win_over_parent_cache(
+        self, tiny_internet, tiny_sources
+    ):
+        # Under a process pool the parent cache never sees the workers'
+        # lookups; the report's shipped-back records are the run truth.
+        obs = Observer()
+        engine = Executor(tiny_internet, tiny_sources)
+        engine.window_result(WINDOW)
+        absorb_engine_accounting(
+            obs, report=engine.report, cache=self.FakeCache()
+        )
+        assert obs.metrics.value("cache_hits_total") == engine.report.cache_hits
+        assert (
+            obs.metrics.value("cache_misses_total") == engine.report.cache_misses
+        )
+
+    def test_stage_breakdown_is_labelled(self, tiny_internet, tiny_sources):
+        obs = Observer()
+        engine = Executor(tiny_internet, tiny_sources)
+        engine.window_result(WINDOW)
+        absorb_engine_accounting(obs, report=engine.report)
+        by_stage = engine.report.by_stage()
+        for stage, stats in by_stage.items():
+            assert obs.metrics.value("stage_calls_total", stage=stage) == stats.calls
+
+
+class TestRendering:
+    def test_report_renders_all_sections(self, tiny_internet, tiny_sources, tmp_path):
+        run_dir = tmp_path / "run"
+        run_once(tiny_internet, tiny_sources, run_dir)
+        text = render_run_report(run_dir, top=5)
+        assert "per-stage timings" in text
+        assert "cache:" in text
+        assert "fit kernel:" in text
+        assert "slowest spans" in text
+        assert "seed    : 7" in text
+
+    def test_renders_missing_directory_gracefully(self, tmp_path):
+        text = render_run_report(tmp_path / "nothing")
+        assert text.startswith("run ledger:")
+
+    def test_warning_events_surface(self, tmp_path):
+        obs = Observer()
+        obs.event("cache.corrupt_spill", level="warning", key="k1")
+        RunLedger(tmp_path / "run").finalize(obs)
+        text = render_run_report(tmp_path / "run")
+        assert "[warning] cache.corrupt_spill" in text
+        assert "key=k1" in text

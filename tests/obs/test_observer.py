@@ -1,0 +1,117 @@
+"""Observer: the run-scoped context, disabled no-ops and delta shipping."""
+
+import logging
+import pickle
+
+from repro.obs.observer import Observer, ObserverDelta
+from repro.obs.tracing import NOOP_SPAN
+
+
+class TestEnabledObserver:
+    def test_span_records(self):
+        obs = Observer()
+        with obs.span("stage:fit", stage="fit") as span:
+            span.set(attempts=1)
+        assert len(obs.tracer.spans) == 1
+        assert obs.tracer.spans[0].attributes["attempts"] == 1
+
+    def test_metrics_record(self):
+        obs = Observer()
+        obs.inc("hits_total", 2.0)
+        obs.observe("seconds", 1.5)
+        obs.set_gauge("bytes", 10.0)
+        assert obs.metrics.value("hits_total") == 2.0
+        assert obs.metrics.gauge("bytes") == 10.0
+
+    def test_event_captured_and_counted(self):
+        obs = Observer()
+        obs.event("cache.corrupt_spill", level="warning", key="k1")
+        assert obs.events[0]["name"] == "cache.corrupt_spill"
+        assert obs.events[0]["key"] == "k1"
+        assert obs.metrics.value("events_warning_total") == 1.0
+
+
+class TestDisabledObserver:
+    def test_span_is_noop(self):
+        obs = Observer.disabled()
+        with obs.span("x") as span:
+            assert span is NOOP_SPAN
+            span.set(ignored=True)
+        assert obs.tracer.spans == []
+
+    def test_metrics_are_noop(self):
+        obs = Observer.disabled()
+        obs.inc("hits_total")
+        obs.observe("seconds", 1.0)
+        obs.set_gauge("bytes", 1.0)
+        assert not obs.metrics
+
+    def test_event_still_logs_but_not_captured(self, caplog):
+        obs = Observer.disabled()
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            obs.event("cache.corrupt_spill", level="warning", key="k1")
+        assert "cache.corrupt_spill" in caplog.text
+        assert "key=k1" in caplog.text
+        assert obs.events == []
+        assert not obs.metrics
+
+    def test_delta_shipping_is_noop(self):
+        obs = Observer.disabled()
+        mark = obs.delta_mark()
+        assert obs.collect_delta(mark) is None
+        obs.absorb(ObserverDelta(counters={"a": 1.0}))
+        assert not obs.metrics
+
+
+class TestDeltaShipping:
+    def test_collect_delta_is_incremental(self):
+        obs = Observer()
+        with obs.span("before"):
+            pass
+        obs.inc("n_total", 1.0)
+        mark = obs.delta_mark()
+        with obs.span("after"):
+            pass
+        obs.inc("n_total", 2.0)
+        obs.event("warn", level="warning")
+        delta = obs.collect_delta(mark)
+        assert [s.name for s in delta.spans] == ["after"]
+        assert delta.counters["n_total"] == 2.0
+        assert [e["name"] for e in delta.events] == ["warn"]
+
+    def test_empty_delta_collapses_to_none(self):
+        obs = Observer()
+        mark = obs.delta_mark()
+        assert obs.collect_delta(mark) is None
+
+    def test_absorb_merges_into_parent(self):
+        worker = Observer()
+        mark = worker.delta_mark()
+        with worker.span("task:demo", index=3):
+            worker.inc("n_total", 2.0)
+        worker.event("note")
+        delta = pickle.loads(pickle.dumps(worker.collect_delta(mark)))
+        parent = Observer()
+        parent.inc("n_total", 1.0)
+        parent.absorb(delta)
+        assert parent.metrics.value("n_total") == 3.0
+        assert [s.name for s in parent.tracer.spans] == ["task:demo"]
+        assert [e["name"] for e in parent.events] == ["note"]
+
+    def test_absorb_none_is_noop(self):
+        parent = Observer()
+        parent.absorb(None)
+        assert not parent.metrics
+
+    def test_double_absorb_would_double_count(self):
+        # Documents WHY the executor absorbs only accepted outcomes:
+        # absorbing one delta twice double-counts, so requeued attempts
+        # must never ship their telemetry twice.
+        worker = Observer()
+        mark = worker.delta_mark()
+        worker.inc("n_total", 1.0)
+        delta = worker.collect_delta(mark)
+        parent = Observer()
+        parent.absorb(delta)
+        parent.absorb(delta)
+        assert parent.metrics.value("n_total") == 2.0

@@ -1,0 +1,126 @@
+"""Tracer and Span: nesting, error capture, merging, export."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+
+
+class TestSpanNesting:
+    def test_child_records_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_done = tracer.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer_done.parent_id is None
+
+    def test_inner_completes_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("run") as run:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = tracer.spans[0], tracer.spans[1]
+        assert a.parent_id == b.parent_id == run.span_id
+
+    def test_span_ids_unique_and_pid_prefixed(self):
+        import os
+
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == 3
+        assert all(i.startswith(f"{os.getpid()}-") for i in ids)
+
+
+class TestSpanTiming:
+    def test_durations_are_monotonic_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        span = tracer.spans[0]
+        assert span.duration >= 0.0
+        assert span.cpu_seconds >= 0.0
+        assert span.start_time > 0.0
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("x", stage="fit") as span:
+            span.set(attempts=2)
+        assert tracer.spans[0].attributes == {"stage": "fit", "attempts": 2}
+
+
+class TestErrorCapture:
+    def test_exception_marks_error_and_still_records(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.spans[0]
+        assert span.status == "error"
+        assert span.attributes["error"] == "ValueError"
+
+    def test_stack_unwinds_after_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError
+        assert tracer.current_span_id() is None
+
+
+class TestMergingAndExport:
+    def test_mark_and_collect_since(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        fresh = tracer.collect_since(mark)
+        assert [s.name for s in fresh] == ["after"]
+
+    def test_absorb_appends_foreign_spans(self):
+        worker = Tracer()
+        with worker.span("task"):
+            pass
+        parent = Tracer()
+        parent.absorb(pickle.loads(pickle.dumps(worker.spans)))
+        assert [s.name for s in parent.spans] == ["task"]
+
+    def test_jsonl_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("x", stage="fit"):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 1
+        restored = Span.from_dict(json.loads(lines[0]))
+        assert restored == tracer.spans[0]
+
+    def test_slowest_orders_by_duration(self):
+        tracer = Tracer()
+        tracer.absorb([
+            Span("fast", "1-1", duration=0.1),
+            Span("slow", "1-2", duration=9.0),
+            Span("mid", "1-3", duration=1.0),
+        ])
+        assert [s.name for s in tracer.slowest(2)] == ["slow", "mid"]
+
+
+class TestNoopSpan:
+    def test_set_is_chainable_sink(self):
+        assert NOOP_SPAN.set(anything=1) is NOOP_SPAN

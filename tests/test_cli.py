@@ -85,3 +85,44 @@ class TestEstimateFiles:
     def test_estimate_files_needs_two(self, capsys, tmp_path, rng):
         paths = self.make_files(tmp_path, rng)
         assert main(["estimate-files", paths[0]]) == 2
+
+
+class TestObservability:
+    """--trace / --metrics-out and the `report` renderer."""
+
+    ARGS = ["--scale-log2", "-14", "--seed", "3"]
+
+    def test_trace_writes_ledger_and_report_renders(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main(self.ARGS + ["--trace", str(run_dir), "estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger written" in out
+        for name in ("run.json", "trace.jsonl", "metrics.json",
+                     "metrics.prom", "events.jsonl", "report.json"):
+            assert (run_dir / name).exists(), name
+        assert main(["report", str(run_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "per-stage timings" in report
+        assert "fit kernel:" in report
+        assert "slowest spans" in report
+
+    def test_metrics_out_alone(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(self.ARGS + ["--metrics-out", str(path), "estimate"]) == 0
+        assert "metrics written" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        names = {c["name"] for c in payload["counters"]}
+        assert "cache_misses_total" in names
+        assert any(n.startswith("fit_") for n in names)
+
+    def test_report_on_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "no run directory" in capsys.readouterr().err
+
+    def test_default_run_has_no_observability_output(self, capsys):
+        assert main(self.ARGS + ["estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger" not in out
+        assert "metrics written" not in out

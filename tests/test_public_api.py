@@ -1,0 +1,129 @@
+"""The consolidated public surface and its deprecation shims.
+
+`repro.__all__` is a contract: star-import exposes exactly the
+documented names.  Renamed keywords keep working through
+`DeprecationWarning` aliases that resolve to identical objects.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+import repro
+from repro.core.estimator import EstimatorOptions
+from repro.engine.executor import ExecutionPolicy
+
+
+class TestStarImport:
+    def test_star_import_matches_all(self):
+        ns = {}
+        exec("from repro import *", ns)
+        public = {k for k in ns if not k.startswith("_")}
+        assert public == set(repro.__all__) - {"__version__"}
+
+    def test_one_stop_objects_reexported(self):
+        for name in (
+            "CaptureRecapture", "EstimatorOptions", "ExecutionPolicy",
+            "Executor", "FaultInjector", "FaultSpec", "RunReport",
+            "WindowResult", "Observer", "MetricsRegistry", "RunLedger",
+            "Tracer", "get_global_metrics", "render_run_report",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_subpackages_define_all(self):
+        import repro.analysis
+        import repro.core
+        import repro.engine
+        import repro.ipspace
+        import repro.obs
+        import repro.simnet
+        import repro.sources
+
+        for pkg in (
+            repro.analysis, repro.core, repro.engine, repro.ipspace,
+            repro.obs, repro.simnet, repro.sources,
+        ):
+            assert pkg.__all__, pkg.__name__
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
+
+
+class TestExecutionPolicyAliases:
+    def test_canonical_and_alias_resolve_identically(self):
+        with pytest.warns(DeprecationWarning, match="max_retries"):
+            aliased = ExecutionPolicy(max_retries=3)
+        assert aliased == ExecutionPolicy(retries=3)
+        assert hash(aliased) == hash(ExecutionPolicy(retries=3))
+
+    def test_timeout_aliases(self):
+        canonical = ExecutionPolicy(task_timeout=5.0)
+        for spelling in ("timeout_s", "timeout"):
+            with pytest.warns(DeprecationWarning, match="task_timeout"):
+                assert ExecutionPolicy(**{spelling: 5.0}) == canonical
+
+    def test_canonical_spelling_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ExecutionPolicy(retries=2, task_timeout=1.0)
+
+    def test_both_spellings_conflict(self):
+        with pytest.raises(TypeError, match="retries"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            ExecutionPolicy(retries=1, max_retries=2)
+
+    def test_unknown_kwarg_still_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            ExecutionPolicy(nonsense=1)
+
+    def test_dataclass_machinery_survives_the_shim(self):
+        policy = ExecutionPolicy(retries=2)
+        assert dataclasses.replace(policy, retries=3).retries == 3
+        assert dataclasses.asdict(policy)["retries"] == 2
+
+
+class TestEstimatorOptionsAliases:
+    def test_truncation_limit_alias(self):
+        with pytest.warns(DeprecationWarning, match="limit"):
+            aliased = EstimatorOptions(truncation_limit=100.0)
+        assert aliased == EstimatorOptions(limit=100.0)
+
+    def test_min_observed_alias(self):
+        with pytest.warns(DeprecationWarning, match="min_stratum_observed"):
+            aliased = EstimatorOptions(min_observed=5)
+        assert aliased == EstimatorOptions(min_stratum_observed=5)
+
+    def test_canonical_spelling_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            EstimatorOptions(limit=10.0, min_stratum_observed=2)
+
+    def test_positional_construction_still_works(self):
+        opts = EstimatorOptions("aic", 10)
+        assert opts.criterion == "aic"
+        assert opts.divisor == 10
+
+
+class TestFitkernelGlobalsDeprecated:
+    def test_totals_read_warns_but_works(self):
+        from repro.core import fitkernel
+
+        fitkernel.reset_counters()
+        fitkernel.record(fits=1)
+        with pytest.warns(DeprecationWarning, match="get_global_metrics"):
+            totals = fitkernel._TOTALS
+        assert totals["fits"] == 1
+        fitkernel.reset_counters()
+
+    def test_lock_read_warns(self):
+        from repro.core import fitkernel
+
+        with pytest.warns(DeprecationWarning):
+            assert fitkernel._LOCK is not None
+
+    def test_unknown_attribute_raises(self):
+        from repro.core import fitkernel
+
+        with pytest.raises(AttributeError):
+            fitkernel._NO_SUCH_NAME
