@@ -42,10 +42,17 @@ BASELINE_FILES = ("BENCH_perf_core.json", "BENCH_perf_fit.json")
 DEFAULT_THRESHOLD = 0.30
 
 #: Committed metrics export of the reference observability sweep.
+#: Schema 2 nests a cold and a warm (second run against a shared
+#: artifact store) export under ``{"schema": 2, "cold": ..., "warm":
+#: ...}``; schema 1 was a single flat ``--metrics-out`` export and is
+#: still accepted (treated as cold-only).
 METRICS_BASELINE = "BENCH_metrics.json"
 
-#: Allowed drop in cache hit rate (absolute) before the warn fires.
+#: Allowed drop in cache hit rate (absolute) before the gate fails.
 METRICS_HIT_RATE_SLACK = 0.05
+
+#: Floor on the warm-run (second run, shared store) cache hit rate.
+DEFAULT_MIN_WARM_HIT_RATE = 0.90
 
 
 def load_medians(path: Path) -> dict[str, float]:
@@ -141,18 +148,64 @@ def self_test(threshold: float) -> int:
         )
         return 1
     print("self-test passed: gate flags the slowdown and only the slowdown")
+
+    # Same drill for the cache-efficiency gate: a synthetic candidate
+    # with half the baseline's hits must fail, an identical one pass.
+    metrics_path = HERE / METRICS_BASELINE
+    if metrics_path.exists():
+        cold, _ = load_metrics_baseline(metrics_path)
+        degraded = dict(cold)
+        degraded["cache_hits_total"] = cold.get("cache_hits_total", 0.0) / 2
+        degraded["cache_misses_total"] = (
+            cold.get("cache_misses_total", 0.0)
+            + cold.get("cache_hits_total", 0.0) / 2
+        )
+        _, clean_failed = compare_metrics(cold, dict(cold))
+        _, degraded_failed = compare_metrics(cold, degraded)
+        if clean_failed or not degraded_failed:
+            print(
+                "self-test FAILED: metrics gate did not flag a synthetic "
+                f"hit-rate halving (clean: {clean_failed}, degraded: "
+                f"{degraded_failed})",
+                file=sys.stderr,
+            )
+            return 1
+        print("self-test passed: metrics gate flags a synthetic hit-rate drop")
     return 0
+
+
+def _counters_of(data: dict) -> dict[str, float]:
+    """Unlabelled counter totals from one loaded metrics export."""
+    return {
+        c["name"]: float(c["value"])
+        for c in data.get("counters", [])
+        if not c.get("labels")
+    }
 
 
 def _counter_totals(path: Path) -> dict[str, float]:
     """Unlabelled counter totals from a ``--metrics-out`` JSON export."""
     with open(path) as fh:
         data = json.load(fh)
-    return {
-        c["name"]: float(c["value"])
-        for c in data.get("counters", [])
-        if not c.get("labels")
-    }
+    return _counters_of(data)
+
+
+def load_metrics_baseline(
+    path: Path,
+) -> tuple[dict[str, float], dict[str, float] | None]:
+    """``(cold counters, warm counters or None)`` from the committed baseline.
+
+    Accepts both the schema-2 nested ``{"schema": 2, "cold": ...,
+    "warm": ...}`` layout and the historical flat export (cold-only).
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema", 1) >= 2:
+        warm = data.get("warm")
+        return _counters_of(data["cold"]), (
+            _counters_of(warm) if warm is not None else None
+        )
+    return _counters_of(data), None
 
 
 def _hit_rate(counters: dict[str, float]) -> float | None:
@@ -163,40 +216,102 @@ def _hit_rate(counters: dict[str, float]) -> float | None:
     return hits / (hits + misses)
 
 
-def metrics_diff(candidate_path: Path, baseline_path: Path | None = None) -> int:
-    """Warn-only comparison of cache efficiency between metrics exports.
+def compare_metrics(
+    baseline: dict[str, float], candidate: dict[str, float]
+) -> tuple[list[str], bool]:
+    """Comparison rows plus whether the hit-rate gate failed."""
+    rows: list[str] = []
+    base_rate = _hit_rate(baseline)
+    cand_rate = _hit_rate(candidate)
+    if base_rate is None or cand_rate is None:
+        rows.append("metrics: no cache counters on one side, skipping")
+        return rows, False
+    drop = base_rate - cand_rate
+    failed = drop > METRICS_HIT_RATE_SLACK
+    verdict = "FAIL" if failed else "ok"
+    rows.append(
+        f"{verdict:4s} cache hit rate: {cand_rate:.1%} vs baseline "
+        f"{base_rate:.1%} ({drop:+.1%} drop)"
+    )
+    for name in (
+        "cache_evictions_total",
+        "cache_corrupt_evictions_total",
+        "cache_persistent_corrupt_entries_total",
+    ):
+        base_v, cand_v = baseline.get(name, 0.0), candidate.get(name, 0.0)
+        if cand_v > base_v:
+            rows.append(f"WARN {name}: {cand_v:.0f} vs baseline {base_v:.0f}")
+    return rows, failed
 
-    Unlike the timing gate this never fails CI: cache hit rates shift
-    legitimately when stages are added or keys change, so a drop is a
-    prompt to look, not a blocker.  Always returns 0.
+
+def metrics_diff(candidate_path: Path, baseline_path: Path | None = None) -> int:
+    """Cache-efficiency gate between a candidate export and the baseline.
+
+    A hit-rate drop beyond ``METRICS_HIT_RATE_SLACK`` fails the build:
+    with content-addressed keys the reference sweep's hit rate is
+    deterministic, so a drop means a changed artifact key or a stage
+    that silently stopped caching.  Eviction and corrupt-entry counter
+    increases remain warn-only (they vary with runner memory pressure).
     """
     baseline_path = baseline_path or HERE / METRICS_BASELINE
     if not baseline_path.exists():
         print(f"metrics: no committed baseline at {baseline_path}, skipping")
         return 0
-    baseline = _counter_totals(baseline_path)
+    baseline, _ = load_metrics_baseline(baseline_path)
     candidate = _counter_totals(candidate_path)
-    base_rate = _hit_rate(baseline)
-    cand_rate = _hit_rate(candidate)
-    if base_rate is None or cand_rate is None:
-        print("metrics: no cache counters on one side, skipping")
-        return 0
-    drop = base_rate - cand_rate
-    verdict = "WARN" if drop > METRICS_HIT_RATE_SLACK else "ok"
-    print(
-        f"{verdict:4s} cache hit rate: {cand_rate:.1%} vs baseline "
-        f"{base_rate:.1%} ({drop:+.1%} drop)"
-    )
-    for name in ("cache_evictions_total", "cache_corrupt_evictions_total"):
-        base_v, cand_v = baseline.get(name, 0.0), candidate.get(name, 0.0)
-        if cand_v > base_v:
-            print(f"WARN {name}: {cand_v:.0f} vs baseline {base_v:.0f}")
-    if verdict == "WARN":
+    rows, failed = compare_metrics(baseline, candidate)
+    for row in rows:
+        print(row)
+    if failed:
         print(
-            "cache hit rate dropped past the slack; look for a changed "
-            "artifact key or a stage no longer caching (warn-only, not "
-            "failing the build)"
+            "cache hit rate dropped past the slack: look for a changed "
+            "artifact key or a stage no longer caching",
+            file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def warm_gate(
+    warm_path: Path,
+    min_rate: float = DEFAULT_MIN_WARM_HIT_RATE,
+    baseline_path: Path | None = None,
+) -> int:
+    """Fail unless the warm run (second run, shared store) mostly hit.
+
+    The warm sweep reruns the reference pipeline against a store already
+    populated by the cold run, so nearly every stage lookup should hit
+    the persistent tier; a rate under ``min_rate`` means the store keys
+    drifted between identical runs or persistence silently broke.
+    """
+    candidate = _counter_totals(warm_path)
+    rate = _hit_rate(candidate)
+    if rate is None:
+        print("FAIL warm run: no cache counters in export", file=sys.stderr)
+        return 1
+    verdict = "FAIL" if rate < min_rate else "ok"
+    print(f"{verdict:4s} warm-store hit rate: {rate:.1%} (floor {min_rate:.0%})")
+    tier_note = []
+    for name in ("cache_persistent_hits_total", "cache_fitmemo_hits_total"):
+        if name in candidate:
+            tier_note.append(f"{name.removeprefix('cache_')}={candidate[name]:.0f}")
+    if tier_note:
+        print("     " + "  ".join(tier_note))
+    baseline_path = baseline_path or HERE / METRICS_BASELINE
+    if baseline_path.exists():
+        _, warm_baseline = load_metrics_baseline(baseline_path)
+        if warm_baseline is not None:
+            base_rate = _hit_rate(warm_baseline)
+            if base_rate is not None:
+                print(f"     committed warm baseline: {base_rate:.1%}")
+    if verdict == "FAIL":
+        print(
+            f"warm-store hit rate {rate:.1%} is below the {min_rate:.0%} "
+            "floor: identical reruns stopped hitting the persistent store "
+            "(key drift or broken persistence)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -222,19 +337,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--metrics",
         type=Path,
-        help="metrics JSON export (repro --metrics-out) to diff cache "
-        "efficiency against the committed BENCH_metrics.json (warn-only)",
+        help="metrics JSON export (repro --metrics-out) of the cold run; "
+        "fails on a cache hit-rate drop past the slack vs the committed "
+        "BENCH_metrics.json",
+    )
+    parser.add_argument(
+        "--warm-metrics",
+        type=Path,
+        help="metrics JSON export of the warm rerun against a shared "
+        "--store directory; fails if its hit rate is under "
+        "--min-warm-hit-rate",
+    )
+    parser.add_argument(
+        "--min-warm-hit-rate",
+        type=float,
+        default=DEFAULT_MIN_WARM_HIT_RATE,
+        help="warm-run cache hit-rate floor (default %(default)s)",
     )
     args = parser.parse_args(argv)
     if args.self_test:
         return self_test(args.threshold)
+    code = 0
     if args.metrics is not None:
-        code = metrics_diff(args.metrics)
-        if args.candidate is None:
-            return code
+        code |= metrics_diff(args.metrics)
+    if args.warm_metrics is not None:
+        code |= warm_gate(args.warm_metrics, args.min_warm_hit_rate)
     if args.candidate is None:
-        parser.error("candidate JSON required unless --self-test/--metrics")
-    return gate(args.candidate, args.threshold)
+        if args.metrics is None and args.warm_metrics is None:
+            parser.error(
+                "candidate JSON required unless --self-test/--metrics/"
+                "--warm-metrics"
+            )
+        return code
+    return code | gate(args.candidate, args.threshold)
 
 
 if __name__ == "__main__":

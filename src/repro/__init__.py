@@ -38,12 +38,16 @@ from repro.core import (
 from repro.ipspace import IntervalSet, IPSet, Prefix, PrefixTrie
 from repro.engine import (
     ArtifactCache,
+    ArtifactStore,
     ExecutionPolicy,
     Executor,
     FaultInjector,
     FaultSpec,
+    LocalStore,
     RunReport,
+    TieredStore,
     WindowResult,
+    open_store,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -51,6 +55,7 @@ from repro.obs import (
     RunLedger,
     Tracer,
     get_global_metrics,
+    render_run_diff,
     render_run_report,
 )
 from repro.analysis import (
@@ -85,18 +90,23 @@ __all__ = [
     "PrefixTrie",
     # execution engine
     "ArtifactCache",
+    "ArtifactStore",
     "ExecutionPolicy",
     "Executor",
     "FaultInjector",
     "FaultSpec",
+    "LocalStore",
     "RunReport",
+    "TieredStore",
     "WindowResult",
+    "open_store",
     # observability
     "MetricsRegistry",
     "Observer",
     "RunLedger",
     "Tracer",
     "get_global_metrics",
+    "render_run_diff",
     "render_run_report",
     # pipeline / simulator
     "EstimationPipeline",

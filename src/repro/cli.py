@@ -38,10 +38,44 @@ from repro.analysis.supply import supply_by_rir, world_supply
 from repro.analysis.windows import TimeWindow
 from repro.engine.executor import ExecutionPolicy, Executor
 from repro.engine.faults import FaultInjector, FaultSpec
+from repro.engine.store import LocalStore, open_store
 from repro.obs.ledger import RunLedger, absorb_engine_accounting
 from repro.obs.observer import Observer
-from repro.obs.reporting import render_run_report
+from repro.obs.reporting import render_run_diff, render_run_report
 from repro.simnet.internet import SimulationConfig, SyntheticInternet
+
+
+#: Size-suffix multipliers for ``--max-bytes`` (binary, case-insensitive).
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+#: Age-suffix multipliers for ``--max-age`` (seconds).
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_size(text: str) -> int:
+    """``500M``/``2G``/plain bytes -> byte count."""
+    raw = text.strip().lower()
+    try:
+        if raw and raw[-1] in _SIZE_SUFFIXES:
+            return int(float(raw[:-1]) * _SIZE_SUFFIXES[raw[-1]])
+        return int(raw)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"size must look like 1048576, 500M or 2G, got {text!r}"
+        ) from exc
+
+
+def _parse_age(text: str) -> float:
+    """``7d``/``12h``/``30m``/plain seconds -> seconds."""
+    raw = text.strip().lower()
+    try:
+        if raw and raw[-1] in _AGE_SUFFIXES:
+            return float(raw[:-1]) * _AGE_SUFFIXES[raw[-1]]
+        return float(raw)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"age must look like 3600, 12h or 7d, got {text!r}"
+        ) from exc
 
 
 def _parse_window(text: str) -> TimeWindow:
@@ -84,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="enable metrics and write the JSON metrics "
                         "export to PATH after the run")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent artifact store directory: stage "
+                        "outputs (tabulations, fits, window results) are "
+                        "content-addressed and reused across runs and "
+                        "worker processes; a repeat run against a warm "
+                        "store skips recomputation wholesale")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("simulate", help="build the synthetic Internet and "
@@ -149,6 +189,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("run_dir", help="run directory written by --trace")
     report.add_argument("--top", type=int, default=10,
                         help="how many slowest spans to show (default 10)")
+    report.add_argument("--diff", metavar="OTHER_RUN_DIR", default=None,
+                        help="diff this run against a baseline run ledger: "
+                        "provenance drift, per-stage timing deltas, "
+                        "cache/store efficiency and fit-kernel totals")
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain a persistent artifact store directory",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts, bytes and per-stage breakdown"
+    )
+    store_stats.add_argument("path", help="store directory (as in --store)")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="reclaim space by age and/or total size (oldest first)"
+    )
+    store_gc.add_argument("path", help="store directory (as in --store)")
+    store_gc.add_argument("--max-bytes", type=_parse_size, default=None,
+                          metavar="SIZE",
+                          help="keep the store under SIZE (e.g. 500M, 2G)")
+    store_gc.add_argument("--max-age", type=_parse_age, default=None,
+                          metavar="AGE",
+                          help="drop entries unused for AGE (e.g. 7d, 12h)")
+
+    store_verify = store_sub.add_parser(
+        "verify", help="checksum-verify every entry in the store"
+    )
+    store_verify.add_argument("path", help="store directory (as in --store)")
+    store_verify.add_argument("--delete", action="store_true",
+                              help="unlink entries that fail verification")
     return parser
 
 
@@ -170,8 +243,14 @@ def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
         else None
     )
     observer = Observer() if (args.trace or args.metrics_out) else None
+    cache = (
+        open_store(args.store, observer=observer, faults=faults)
+        if getattr(args, "store", None)
+        else None
+    )
     engine = Executor(
-        internet, policy=policy, faults=faults, observer=observer
+        internet, policy=policy, faults=faults, observer=observer,
+        cache=cache,
     )
     pipeline = EstimationPipeline(internet, engine=engine)
     if observer is not None and args.trace:
@@ -438,15 +517,58 @@ def cmd_estimate_files(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Render a run ledger written by ``--trace``."""
+    """Render a run ledger written by ``--trace`` (or diff two)."""
     from pathlib import Path
 
     run_dir = Path(args.run_dir)
     if not run_dir.is_dir():
         print(f"no run directory at {run_dir}", file=sys.stderr)
         return 2
+    if args.diff is not None:
+        other = Path(args.diff)
+        if not other.is_dir():
+            print(f"no run directory at {other}", file=sys.stderr)
+            return 2
+        print(render_run_diff(run_dir, other))
+        return 0
     print(render_run_report(run_dir, top=args.top))
     return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect or maintain a persistent artifact store directory."""
+    from pathlib import Path
+
+    path = Path(args.path)
+    if args.store_command != "stats" and not path.is_dir():
+        print(f"no store directory at {path}", file=sys.stderr)
+        return 2
+    store = LocalStore(path)
+    if args.store_command == "stats":
+        usage = store.usage()
+        print(f"store: {path}")
+        print(f"  entries: {usage['entries']}")
+        print(f"  bytes:   {usage['bytes']}")
+        for stage, count in sorted(usage["stages"].items()):
+            print(f"  {stage:<14} {count}")
+        return 0
+    if args.store_command == "gc":
+        summary = store.gc(max_bytes=args.max_bytes, max_age=args.max_age)
+        print(f"store gc: {path}")
+        print(f"  removed: {summary['removed']} entries "
+              f"({summary['removed_bytes']} bytes), "
+              f"{summary['tmp_removed']} stale temp file(s)")
+        print(f"  kept:    {summary['kept']} entries "
+              f"({summary['kept_bytes']} bytes)")
+        return 0
+    summary = store.verify(delete=args.delete)
+    print(f"store verify: {path}")
+    print(f"  checked: {summary['checked']}")
+    print(f"  corrupt: {summary['corrupt']}"
+          + (" (deleted)" if args.delete and summary["corrupt"] else ""))
+    for corrupt_path in summary["corrupt_paths"]:
+        print(f"  corrupt entry: {corrupt_path}")
+    return 0 if summary["corrupt"] == 0 else 1
 
 
 COMMANDS = {
@@ -459,6 +581,7 @@ COMMANDS = {
     "churn": cmd_churn,
     "estimate-files": cmd_estimate_files,
     "report": cmd_report,
+    "store": cmd_store,
 }
 
 

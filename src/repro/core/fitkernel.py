@@ -24,6 +24,9 @@ Counter semantics:
   actually runs).
 * ``warm_start_hits`` — fits that started from caller-provided
   coefficients instead of the cold least-squares initialiser.
+* ``warm_store_hits`` — final refits seeded from a persistent
+  :class:`~repro.engine.store.FitMemoStore` entry written by an
+  earlier run (see :func:`set_warm_store`).
 * ``memo_hits`` / ``iterations_saved`` — fits avoided entirely because
   an identical ``(terms -> fit)`` was memoised; ``iterations_saved``
   accumulates the iteration count the memoised fit originally needed
@@ -56,6 +59,7 @@ class FitCounters:
     irls_iterations: int = 0
     iterations_saved: int = 0
     warm_start_hits: int = 0
+    warm_store_hits: int = 0
     memo_hits: int = 0
     cholesky_fallbacks: int = 0
     design_cache_hits: int = 0
@@ -215,6 +219,26 @@ def weighted_least_squares(
         np.asarray(weights, dtype=np.float64),
         np.asarray(target, dtype=np.float64),
     )
+
+
+#: Process-wide persistent warm-start store (a
+#: :class:`repro.engine.store.FitMemoStore`, duck typed — the core
+#: layer must not import the engine).  The Executor installs its
+#: store's fit-memo tier here and *always* sets it — including to
+#: ``None`` for store-less executors — so no run inherits a stale
+#: store from a previous Executor in the same process.
+_WARM_STORE = None
+
+
+def set_warm_store(store) -> None:
+    """Install (or clear, with ``None``) the persistent warm-start store."""
+    global _WARM_STORE
+    _WARM_STORE = store
+
+
+def get_warm_store():
+    """The installed persistent warm-start store, or ``None``."""
+    return _WARM_STORE
 
 
 def usable_warm_start(beta0: np.ndarray | None, num_params: int) -> bool:

@@ -218,10 +218,34 @@ def select_model(
     # the log scale) sit about log(d) higher on the unscaled table.
     beta0 = fit_scaled(chosen.terms, None).coef.copy()
     beta0[0] += float(np.log(resolved))
+    # A persistent warm-start store (installed by an Executor running
+    # against an artifact store) may hold this exact fit's converged
+    # coefficients from an earlier run; an exact digest match seeds the
+    # solver at the answer.  The fit still runs to its own convergence.
+    warm_store = fitkernel.get_warm_store()
+    warm_spec = (
+        dict(
+            num_sources=table.num_sources,
+            terms=chosen.terms,
+            counts=table.counts,
+            distribution=distribution,
+            limit=limit,
+            divisor=resolved,
+        )
+        if warm_store is not None
+        else None
+    )
+    if warm_store is not None:
+        stored = warm_store.lookup(**warm_spec)
+        if fitkernel.usable_warm_start(stored, beta0.shape[0]):
+            beta0 = stored
+            fitkernel.record(warm_store_hits=1)
     final_model = LoglinearModel(table.num_sources, chosen.terms, validate=False)
     final_fit = final_model.fit(
         table, distribution=distribution, limit=limit, beta0=beta0
     )
+    if warm_store is not None and final_fit.converged:
+        warm_store.store(final_fit.coef, **warm_spec)
     return ModelSelection(
         fit=final_fit,
         divisor=resolved,

@@ -10,6 +10,10 @@ dataflow a first-class object:
   :class:`PipelineOptions` / :class:`WindowResult` types.
 * :mod:`repro.engine.artifacts` — keyed artifacts and the LRU
   :class:`ArtifactCache` with optional on-disk ``.npz`` spill.
+* :mod:`repro.engine.store` — the :class:`ArtifactStore` interface and
+  its persistent backends: the content-addressed :class:`LocalStore`
+  directory and the write-through :class:`TieredStore` (memory LRU
+  over a shared persistent directory) opened by :func:`open_store`.
 * :mod:`repro.engine.report` — per-stage instrumentation
   (:class:`RunReport`), including retry/degradation accounting.
 * :mod:`repro.engine.faults` — a deterministic, seeded
@@ -28,6 +32,13 @@ from repro.engine.artifacts import Artifact, ArtifactCache, ArtifactKey
 from repro.engine.executor import ExecutionPolicy, Executor, fan_out
 from repro.engine.faults import FaultInjected, FaultInjector, FaultSpec
 from repro.engine.report import RunReport, StageRecord
+from repro.engine.store import (
+    ArtifactStore,
+    FitMemoStore,
+    LocalStore,
+    TieredStore,
+    open_store,
+)
 from repro.engine.stages import (
     NETFLOW_SOURCES,
     SPOOF_FREE_REFERENCES,
@@ -43,6 +54,11 @@ __all__ = [
     "Artifact",
     "ArtifactCache",
     "ArtifactKey",
+    "ArtifactStore",
+    "FitMemoStore",
+    "LocalStore",
+    "TieredStore",
+    "open_store",
     "ExecutionPolicy",
     "Executor",
     "FaultInjected",

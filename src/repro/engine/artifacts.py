@@ -12,18 +12,19 @@ and restore them transparently on the next ``get``.
 
 from __future__ import annotations
 
-import hashlib
+import itertools
 import logging
 import os
 import sys
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
+from repro._canonical import KEY_SCHEMA_VERSION, canonical_digest
 from repro.core.histories import ContingencyTable
 from repro.ipspace.ipset import IPSet
 
@@ -48,15 +49,32 @@ class ArtifactKey:
     window bounds, stage parameters and the (hashable, frozen) pipeline
     options.  Two keys compare equal iff the stage would recompute the
     same value — changed options therefore miss by construction.
+
+    The content address is :meth:`digest`: a sha256 over the canonical,
+    type-tagged encoding of ``(schema version, stage, params)`` (see
+    :mod:`repro._canonical`), stable across processes, Python versions
+    and float formatting — which is what lets a persistent store share
+    entries between runs.
     """
 
     stage: str
     params: tuple
+    _digest: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def digest(self) -> str:
+        """Content address: sha256 of the canonical key encoding."""
+        if self._digest is None:
+            digest = canonical_digest(
+                (KEY_SCHEMA_VERSION, self.stage, self.params)
+            )
+            object.__setattr__(self, "_digest", digest)
+        return self._digest
 
     def token(self) -> str:
-        """Stable filesystem-safe digest (spill file stem)."""
-        digest = hashlib.sha1(repr((self.stage, self.params)).encode())
-        return f"{self.stage}-{digest.hexdigest()[:16]}"
+        """Stable filesystem-safe short form (store/spill file stem)."""
+        return f"{self.stage}-{self.digest()[:16]}"
 
 
 @dataclass
@@ -138,6 +156,29 @@ def _payload_checksum(payload: Mapping[str, np.ndarray]) -> int:
     return crc
 
 
+#: Process-wide sequence for unique temp-file names.  Two threads (or
+#: two caches) in one process writing the same entry still get distinct
+#: temp paths; distinct processes are separated by pid.
+_TMP_SEQ = itertools.count()
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Publish ``data`` under ``path`` via unique temp name + ``os.replace``.
+
+    Lock-free concurrency-safe: every writer uses its own
+    ``.{name}.{pid}-{seq}.tmp`` in the same directory, so concurrent
+    runs sharing one store directory race only on the final atomic
+    rename — last writer wins, and no reader can ever observe a
+    half-written file under the final name.
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}-{next(_TMP_SEQ)}.tmp")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 class CorruptSpillError(RuntimeError):
     """A spilled artifact failed its checksum or could not be decoded."""
 
@@ -197,6 +238,10 @@ class ArtifactCache:
         self.spills = 0
         self.restores = 0
         self.corrupt_evictions = 0
+        #: Where the most recent hit was served from ("memory" or
+        #: "spill"); None after a miss.  Tiered stores extend this with
+        #: "persistent" so stage records can attribute their hits.
+        self.last_hit_tier: str | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -216,6 +261,7 @@ class ArtifactCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            self.last_hit_tier = "memory"
             return entry.value
         path = self._spilled.get(key)
         if path is not None and path.exists():
@@ -230,9 +276,11 @@ class ArtifactCache:
                 del self._spilled[key]
                 self.restores += 1
                 self.hits += 1
+                self.last_hit_tier = "spill"
                 self.put(key, value)
                 return value
         self.misses += 1
+        self.last_hit_tier = None
         return MISS
 
     @staticmethod
@@ -289,7 +337,9 @@ class ArtifactCache:
         """
         self.spill_dir.mkdir(parents=True, exist_ok=True)
         path = self.spill_dir / f"{key.token()}.npz"
-        tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}-{next(_TMP_SEQ)}.tmp"
+        )
         checksum = np.array(_payload_checksum(payload), dtype=np.uint64)
         try:
             # Write through a file object: savez would append another
@@ -337,3 +387,20 @@ class ArtifactCache:
             "restores": self.restores,
             "corrupt_evictions": self.corrupt_evictions,
         }
+
+    def describe(self) -> dict[str, Any]:
+        """Provenance description (recorded in run ledgers)."""
+        return {
+            "backend": "memory",
+            "max_bytes": self.max_bytes,
+            "spill_dir": str(self.spill_dir) if self.spill_dir else None,
+            "key_schema": KEY_SCHEMA_VERSION,
+        }
+
+    def spec(self) -> dict[str, Any] | None:
+        """Picklable rebuild spec for pool workers.
+
+        A purely in-memory cache has nothing a worker could share, so
+        the spec is ``None`` and workers build their own private cache.
+        """
+        return None

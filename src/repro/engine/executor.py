@@ -53,6 +53,7 @@ from repro.core.stratified import Labeler, StratifiedEstimate, stratified_estima
 from repro.engine.artifacts import MISS, ArtifactCache, ArtifactKey, artifact_nbytes
 from repro.engine.faults import FaultInjector, backoff_seconds
 from repro.engine.report import RunReport, StageRecord
+from repro.engine.store import ArtifactStore, open_store
 from repro.obs.observer import Observer, ObserverDelta
 from repro.engine.stages import (
     STAGES,
@@ -363,7 +364,7 @@ class Executor:
         sources: Mapping[str, MeasurementSource] | None = None,
         options: PipelineOptions | None = None,
         *,
-        cache: ArtifactCache | None = None,
+        cache: "ArtifactCache | ArtifactStore | None" = None,
         report: RunReport | None = None,
         policy: ExecutionPolicy | None = None,
         faults: FaultInjector | None = None,
@@ -386,6 +387,9 @@ class Executor:
         self.report = report if report is not None else RunReport()
         if self.cache.observer is None:
             self.cache.observer = self.observer
+        # Always set — including to None: a store-less executor must not
+        # inherit the persistent warm-start store of a previous one.
+        fitkernel.set_warm_store(getattr(self.cache, "fitmemo", None))
         self.context = RunContext(self)
         #: Per-stage resolution counter: the task index stage-level
         #: faults key on (counts cache misses, stable under retries).
@@ -435,6 +439,7 @@ class Executor:
                     cache_hit=True,
                     output_bytes=artifact_nbytes(value),
                     worker=_worker_tag(),
+                    tier=getattr(self.cache, "last_hit_tier", None),
                 )
             )
             return value
@@ -579,9 +584,15 @@ class Executor:
                         )
                     )
             return out
+        # Ship the store spec so workers share the persistent tier:
+        # a window computed by one worker is a store hit for every
+        # other worker (and for the next run).
+        store_spec = (
+            self.cache.spec() if hasattr(self.cache, "spec") else None
+        )
         payload = pickle.dumps(
             (self.internet, self.sources, self.options, self.faults,
-             self.observer.enabled)
+             self.observer.enabled, store_spec)
         )
 
         def make_pool(n: int) -> ProcessPoolExecutor:
@@ -727,12 +738,16 @@ _WORKER_FAULTS: FaultInjector | None = None
 
 def _window_worker_init(payload: bytes) -> None:
     global _WORKER_EXECUTOR, _WORKER_FAULTS
-    internet, sources, options, faults, observe = pickle.loads(payload)
+    internet, sources, options, faults, observe, store_spec = pickle.loads(
+        payload
+    )
     # The worker executor itself carries no injector: task-level faults
     # are fired by the wrapper below, keyed by sweep task index, which
     # stays deterministic however tasks land on workers.
+    cache = open_store(**store_spec) if store_spec is not None else None
     _WORKER_EXECUTOR = Executor(
         internet, sources, options,
+        cache=cache,
         observer=Observer() if observe else None,
     )
     _WORKER_FAULTS = faults

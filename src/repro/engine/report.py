@@ -35,6 +35,9 @@ class StageRecord:
     input_bytes: int = 0
     output_bytes: int = 0
     worker: str = "main"
+    #: Which store tier served a cache hit ("memory", "spill" or
+    #: "persistent"); None for misses and for stores without tiers.
+    tier: str | None = None
     #: Fit-kernel counter delta attributed to this execution (None when
     #: the stage ran no fits, e.g. cache hits and pure-IO stages).
     fit: FitCounters | None = None
@@ -87,6 +90,14 @@ class RunReport:
     @property
     def cache_misses(self) -> int:
         return sum(1 for r in self.records if not r.cache_hit)
+
+    def hit_tiers(self) -> dict[str, int]:
+        """Cache hits per serving store tier (tier-less hits excluded)."""
+        tiers: dict[str, int] = {}
+        for r in self.records:
+            if r.cache_hit and r.tier is not None:
+                tiers[r.tier] = tiers.get(r.tier, 0) + 1
+        return tiers
 
     # -- fault-tolerance views --------------------------------------------
 
@@ -145,6 +156,11 @@ class RunReport:
         out = {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            **(
+                {"cache_hit_tiers": self.hit_tiers()}
+                if self.hit_tiers()
+                else {}
+            ),
             "wall_time": self.wall_time(),
             "stages": {
                 name: {

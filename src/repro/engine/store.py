@@ -1,0 +1,607 @@
+"""Pluggable artifact stores: in-memory tier + persistent local backend.
+
+PR 1's :class:`~repro.engine.artifacts.ArtifactCache` is a per-run LRU
+that dies with the Executor; window sweeps, sensitivity grids and
+cross-validation folds therefore start cold in every process.  This
+module promotes the storage layer to an :class:`ArtifactStore`
+interface with two backends:
+
+* the existing :class:`~repro.engine.artifacts.ArtifactCache`
+  (registered as a virtual subclass) — fast, process-local, evicting;
+* :class:`LocalStore` — a persistent local-directory backend that
+  stores payloads *content-addressed* by the canonical key digest
+  (:meth:`~repro.engine.artifacts.ArtifactKey.digest`), survives the
+  process, and can be shared between concurrent runs.
+
+:class:`TieredStore` composes the two write-through: every ``get``
+checks memory first and falls back to the persistent directory
+(promoting hits into memory), every ``put`` lands in both.  Pool
+workers rebuild the same tiered store from its picklable :meth:`spec`,
+so a window computed by one worker is readable by every other — and by
+next week's run.
+
+On-disk layout (``token = f"{stage}-{digest[:16]}"``)::
+
+    <root>/v2/<stage>/<token>.npz    array payloads (IPSet, tables, ...)
+    <root>/v2/<stage>/<token>.pkl    everything else (crc-framed pickle)
+
+The ``v2`` segment is :data:`~repro._canonical.KEY_SCHEMA_VERSION`:
+bumping the schema strands old entries in a directory the new code
+never looks at, so stale entries miss cleanly instead of colliding.
+Writes are lock-free concurrency-safe (unique temp name +
+``os.replace``); reads verify a crc32 before trusting any payload, and
+a corrupt entry is unlinked, surfaced as a ``cache.corrupt_spill``
+event and degraded to a recomputing miss.
+"""
+
+from __future__ import annotations
+
+import abc
+import io
+import logging
+import os
+import pickle
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from repro._canonical import KEY_SCHEMA_VERSION
+from repro.engine.artifacts import (
+    CHECKSUM_KEY,
+    DEFAULT_MAX_BYTES,
+    MISS,
+    ArtifactCache,
+    ArtifactKey,
+    CorruptSpillError,
+    _payload_checksum,
+    _restore_payload,
+    _spill_payload,
+    atomic_write_bytes,
+)
+
+if TYPE_CHECKING:
+    from repro.engine.faults import FaultInjector
+    from repro.obs.observer import Observer
+
+logger = logging.getLogger(__name__)
+
+#: Frame header of ``.pkl`` store entries: magic + crc32 of the pickle.
+PICKLE_MAGIC = b"RART"
+_PICKLE_HEADER = struct.Struct("<4sI")
+
+#: Temp files older than this are presumed orphaned by a killed writer
+#: and are swept during :meth:`LocalStore.gc`.
+STALE_TMP_SECONDS = 3600.0
+
+
+class ArtifactStore(abc.ABC):
+    """What the engine requires of an artifact store.
+
+    ``get`` returns the cached value or the :data:`MISS` sentinel;
+    ``put`` inserts (both keyed by :class:`ArtifactKey`); ``stats``
+    returns a flat counter snapshot.  ``describe`` and ``spec`` have
+    usable defaults: provenance for the run ledger, and the picklable
+    worker-rebuild spec (``None`` meaning "nothing to share — workers
+    build their own").
+    """
+
+    @abc.abstractmethod
+    def get(self, key: ArtifactKey) -> Any:
+        """The stored value for ``key``, or the :data:`MISS` sentinel."""
+
+    @abc.abstractmethod
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Insert ``value`` under ``key``."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: ArtifactKey) -> bool:
+        """Whether an entry exists for ``key`` (no value materialised)."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict[str, int]:
+        """Flat counter snapshot (hits, misses, backend-specific rest)."""
+
+    def describe(self) -> dict[str, Any]:
+        """Provenance of this store for the run ledger (``run.json``)."""
+        return {"backend": type(self).__name__}
+
+    def spec(self) -> dict[str, Any] | None:
+        """Picklable worker-rebuild spec; ``None`` = nothing to share."""
+        return None
+
+
+# The LRU cache predates the interface and must not import this module;
+# it satisfies the contract structurally, so register it.
+ArtifactStore.register(ArtifactCache)
+
+
+def _warn_corrupt_entry(
+    observer: "Observer | None",
+    key: ArtifactKey,
+    path: Path,
+    exc: CorruptSpillError,
+) -> None:
+    """Surface a corrupt store entry: structured event or warning log."""
+    attrs: dict[str, Any] = {
+        "key": key.token(),
+        "stage": key.stage,
+        "path": str(path),
+        "error": str(exc),
+    }
+    if exc.stored_crc is not None:
+        attrs["stored_crc"] = f"{exc.stored_crc:#010x}"
+        attrs["computed_crc"] = f"{exc.computed_crc:#010x}"
+    if observer is not None:
+        observer.event("cache.corrupt_spill", level="warning", **attrs)
+    else:
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        logger.warning("cache.corrupt_spill %s", detail)
+
+
+class LocalStore(ArtifactStore):
+    """Persistent content-addressed artifact store in a local directory.
+
+    Entries never expire on their own — reclamation is explicit via
+    :meth:`gc` (by total size and/or age, oldest ``mtime`` first).
+    ``put`` is idempotent: an existing entry is not rewritten (content
+    addressing makes the bytes equivalent), only its ``mtime`` is
+    refreshed so gc treats it as recently useful.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        observer: "Observer | None" = None,
+        faults: "FaultInjector | None" = None,
+    ) -> None:
+        self.root = Path(root)
+        self.observer = observer
+        self.faults = faults
+        self._put_counts: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.put_skips = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.corrupt_entries = 0
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def _version_dir(self) -> Path:
+        return self.root / f"v{KEY_SCHEMA_VERSION}"
+
+    def _paths(self, key: ArtifactKey) -> tuple[Path, Path]:
+        stem = self._version_dir / key.stage / key.token()
+        return stem.with_suffix(".npz"), stem.with_suffix(".pkl")
+
+    def _find(self, key: ArtifactKey) -> Path | None:
+        for path in self._paths(key):
+            if path.exists():
+                return path
+        return None
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return self._find(key) is not None
+
+    # -- get/put ----------------------------------------------------------
+
+    def get(self, key: ArtifactKey) -> Any:
+        """Read + checksum-verify; corruption degrades to a miss."""
+        path = self._find(key)
+        if path is None:
+            self.misses += 1
+            return MISS
+        try:
+            data = path.read_bytes()
+            value = self._decode(path, data)
+        except CorruptSpillError as exc:
+            path.unlink(missing_ok=True)
+            self.corrupt_entries += 1
+            self._warn_corrupt(key, path, exc)
+            self.misses += 1
+            return MISS
+        except OSError as exc:  # racing gc/unlink: plain miss
+            logger.debug("store read failed for %s: %s", path, exc)
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        self.bytes_read += len(data)
+        return value
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Atomically persist ``value``; idempotent for existing keys."""
+        npz_path, pkl_path = self._paths(key)
+        existing = self._find(key)
+        if existing is not None:
+            # Content-addressed: same digest, same bytes.  Refresh the
+            # mtime so gc sees the entry as recently useful.
+            self.put_skips += 1
+            try:
+                os.utime(existing)
+            except OSError:
+                pass
+            return
+        payload = _spill_payload(value)
+        if payload is not None:
+            checksum = np.array(_payload_checksum(payload), dtype=np.uint64)
+            buffer = io.BytesIO()
+            np.savez_compressed(
+                buffer, **payload, **{CHECKSUM_KEY: checksum}
+            )
+            data, path = buffer.getvalue(), npz_path
+        else:
+            body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            header = _PICKLE_HEADER.pack(PICKLE_MAGIC, zlib.crc32(body))
+            data, path = header + body, pkl_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, data)
+        self.puts += 1
+        self.bytes_written += len(data)
+        index = self._put_counts.get(key.stage, 0)
+        self._put_counts[key.stage] = index + 1
+        if self.faults is not None:
+            self.faults.corrupt_spill(key.stage, index, path)
+
+    @staticmethod
+    def _decode(path: Path, data: bytes) -> Any:
+        """Decode + verify one entry's bytes (raises on any corruption)."""
+        if path.suffix == ".npz":
+            try:
+                with np.load(io.BytesIO(data)) as archive:
+                    payload = {name: archive[name] for name in archive.files}
+            except Exception as exc:  # truncated zip, bad header
+                raise CorruptSpillError(
+                    f"unreadable store entry {path.name}"
+                ) from exc
+            checksum = payload.pop(CHECKSUM_KEY, None)
+            if checksum is None or not payload:
+                raise CorruptSpillError(
+                    f"store entry {path.name} has no checksum"
+                )
+            stored = int(checksum)
+            computed = _payload_checksum(payload)
+            if stored != computed:
+                raise CorruptSpillError(
+                    f"checksum mismatch in {path.name}: "
+                    f"stored crc32 {stored:#010x} != computed {computed:#010x}",
+                    stored_crc=stored,
+                    computed_crc=computed,
+                )
+            return _restore_payload(payload)
+        if len(data) < _PICKLE_HEADER.size:
+            raise CorruptSpillError(f"truncated store entry {path.name}")
+        magic, stored = _PICKLE_HEADER.unpack_from(data)
+        if magic != PICKLE_MAGIC:
+            raise CorruptSpillError(f"bad magic in store entry {path.name}")
+        body = data[_PICKLE_HEADER.size :]
+        computed = zlib.crc32(body)
+        if stored != computed:
+            raise CorruptSpillError(
+                f"checksum mismatch in {path.name}: "
+                f"stored crc32 {stored:#010x} != computed {computed:#010x}",
+                stored_crc=stored,
+                computed_crc=computed,
+            )
+        try:
+            return pickle.loads(body)
+        except Exception as exc:
+            raise CorruptSpillError(
+                f"undecodable store entry {path.name}"
+            ) from exc
+
+    def _warn_corrupt(
+        self, key: ArtifactKey, path: Path, exc: CorruptSpillError
+    ) -> None:
+        _warn_corrupt_entry(self.observer, key, path, exc)
+
+    # -- accounting and maintenance ---------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters of this store instance (not the directory)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "put_skips": self.put_skips,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+    def describe(self) -> dict[str, Any]:
+        """Backend, directory and key-schema provenance for the ledger."""
+        return {
+            "backend": "local",
+            "path": str(self.root),
+            "key_schema": KEY_SCHEMA_VERSION,
+        }
+
+    def spec(self) -> dict[str, Any] | None:
+        """Rebuild spec: workers reopen the same directory."""
+        return {"path": str(self.root)}
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the store (any schema version)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file() and path.suffix in (".npz", ".pkl"):
+                yield path
+
+    def usage(self) -> dict[str, int]:
+        """Point-in-time directory scan: entry count, bytes, stages."""
+        entries = 0
+        total = 0
+        stages: dict[str, int] = {}
+        for path in self.entries():
+            entries += 1
+            total += path.stat().st_size
+            stages[path.parent.name] = stages.get(path.parent.name, 0) + 1
+        return {"entries": entries, "bytes": total, "stages": stages}
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> dict[str, int]:
+        """Reclaim space: drop entries by age, then by size, oldest first.
+
+        ``max_age`` is seconds since last use (mtime — refreshed by
+        idempotent re-puts); ``max_bytes`` bounds the total store size
+        after collection.  Orphaned temp files older than
+        :data:`STALE_TMP_SECONDS` are always swept.
+        """
+        now = time.time() if now is None else now
+        removed = removed_bytes = 0
+        tmp_removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob(".*.tmp"):
+                try:
+                    if now - path.stat().st_mtime > STALE_TMP_SECONDS:
+                        path.unlink(missing_ok=True)
+                        tmp_removed += 1
+                except OSError:
+                    continue
+        survivors: list[tuple[float, int, Path]] = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if max_age is not None and now - stat.st_mtime > max_age:
+                path.unlink(missing_ok=True)
+                removed += 1
+                removed_bytes += stat.st_size
+            else:
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None:
+            survivors.sort()  # oldest mtime first
+            total = sum(size for _, size, _ in survivors)
+            while survivors and total > max_bytes:
+                _, size, path = survivors.pop(0)
+                path.unlink(missing_ok=True)
+                removed += 1
+                removed_bytes += size
+                total -= size
+        kept = sum(1 for _ in self.entries())
+        kept_bytes = sum(p.stat().st_size for p in self.entries())
+        return {
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "tmp_removed": tmp_removed,
+            "kept": kept,
+            "kept_bytes": kept_bytes,
+        }
+
+    def verify(self, delete: bool = False) -> dict[str, Any]:
+        """Checksum-verify every entry; optionally delete the corrupt."""
+        checked = 0
+        corrupt: list[str] = []
+        for path in self.entries():
+            checked += 1
+            try:
+                self._decode(path, path.read_bytes())
+            except CorruptSpillError:
+                corrupt.append(str(path))
+                if delete:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                continue
+        return {
+            "checked": checked,
+            "corrupt": len(corrupt),
+            "corrupt_paths": corrupt,
+            "deleted": len(corrupt) if delete else 0,
+        }
+
+
+class FitMemoStore:
+    """Persistent warm-start coefficients for the final full-count refit.
+
+    :func:`repro.core.selection.select_model` ends every window in one
+    expensive fit: the chosen model refit on the unscaled table.  This
+    store keys that fit's *converged coefficients* by the canonical
+    digest of everything that determines them — source count, term set,
+    the full table counts, distribution, truncation limit and the
+    resolved divisor — so a later run of the same window starts IRLS at
+    the answer.  Only an exact digest match is consulted, and the
+    coefficients only seed the solver (the fit still runs to its own
+    convergence), so estimates stay within the same float tolerance as
+    PR 2's in-run warm starts.
+    """
+
+    STAGE = "fitmemo"
+
+    def __init__(
+        self, root: str | Path, observer: "Observer | None" = None
+    ) -> None:
+        # A dedicated LocalStore instance keeps fit-memo traffic in its
+        # own counters (reported under the ``fitmemo_`` prefix).
+        self._store = LocalStore(root, observer=observer)
+
+    @property
+    def observer(self) -> "Observer | None":
+        """Observer of the underlying store (corrupt-entry events)."""
+        return self._store.observer
+
+    @observer.setter
+    def observer(self, value: "Observer | None") -> None:
+        self._store.observer = value
+
+    def key_for(
+        self,
+        *,
+        num_sources: int,
+        terms: frozenset,
+        counts: np.ndarray,
+        distribution: str,
+        limit: float | None,
+        divisor: int,
+    ) -> ArtifactKey:
+        """The canonical key of one final-refit coefficient vector."""
+        return ArtifactKey(
+            self.STAGE,
+            params=(
+                int(num_sources),
+                terms,
+                np.asarray(counts),
+                str(distribution),
+                limit,
+                int(divisor),
+            ),
+        )
+
+    def lookup(self, **spec: Any) -> np.ndarray | None:
+        """Stored coefficients for this exact fit, or ``None``."""
+        value = self._store.get(self.key_for(**spec))
+        if value is MISS:
+            return None
+        try:
+            return np.asarray(value, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+
+    def store(self, coef: np.ndarray, **spec: Any) -> None:
+        """Persist converged coefficients under this fit's exact digest."""
+        self._store.put(
+            self.key_for(**spec), np.asarray(coef, dtype=np.float64)
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Counters of the dedicated fit-memo store instance."""
+        return self._store.stats()
+
+
+class TieredStore(ArtifactStore):
+    """Write-through composition: in-memory LRU over a persistent store.
+
+    ``get`` serves from memory when possible and falls back to the
+    persistent directory, promoting the value into the memory tier;
+    ``put`` lands in both.  :attr:`last_hit_tier` records where the
+    most recent hit came from (``"memory"``, ``"spill"`` or
+    ``"persistent"``) so stage records can attribute their cache hits.
+    """
+
+    def __init__(self, memory: ArtifactCache, persistent: LocalStore) -> None:
+        self.memory = memory
+        self.persistent = persistent
+        self.fitmemo = FitMemoStore(
+            persistent.root, observer=persistent.observer
+        )
+        self.hits = 0
+        self.misses = 0
+        self.last_hit_tier: str | None = None
+
+    # The engine adopts its observer onto an unclaimed cache; propagate
+    # the adoption to every tier.
+    @property
+    def observer(self) -> "Observer | None":
+        """Shared observer; assignment propagates to every tier."""
+        return self.memory.observer
+
+    @observer.setter
+    def observer(self, value: "Observer | None") -> None:
+        self.memory.observer = value
+        self.persistent.observer = value
+        self.fitmemo.observer = value
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return key in self.memory or key in self.persistent
+
+    def get(self, key: ArtifactKey) -> Any:
+        """Memory first, then persistent (promoting the hit), else MISS."""
+        value = self.memory.get(key)
+        if value is not MISS:
+            self.hits += 1
+            self.last_hit_tier = self.memory.last_hit_tier
+            return value
+        value = self.persistent.get(key)
+        if value is not MISS:
+            self.hits += 1
+            self.last_hit_tier = "persistent"
+            self.memory.put(key, value)  # promote for later gets
+            return value
+        self.misses += 1
+        self.last_hit_tier = None
+        return MISS
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Write through: the value lands in both tiers."""
+        self.memory.put(key, value)
+        self.persistent.put(key, value)
+
+    def stats(self) -> dict[str, int]:
+        """Memory counters + ``persistent_``/``fitmemo_``-prefixed tiers."""
+        merged = dict(self.memory.stats())
+        # The memory tier's hit/miss counters see every tiered lookup;
+        # the tier-spanning truth is this store's own counters.
+        merged["hits"] = self.hits
+        merged["misses"] = self.misses
+        for name, value in self.persistent.stats().items():
+            merged[f"persistent_{name}"] = value
+        for name, value in self.fitmemo.stats().items():
+            merged[f"fitmemo_{name}"] = value
+        return merged
+
+    def describe(self) -> dict[str, Any]:
+        """Nested provenance of both tiers for the run ledger."""
+        return {
+            "backend": "tiered",
+            "memory": self.memory.describe(),
+            "persistent": self.persistent.describe(),
+        }
+
+    def spec(self) -> dict[str, Any] | None:
+        """Rebuild spec: shared directory, private same-sized memory."""
+        return {
+            "path": str(self.persistent.root),
+            "memory_bytes": self.memory.max_bytes,
+        }
+
+
+def open_store(
+    path: str | Path,
+    *,
+    memory_bytes: int = DEFAULT_MAX_BYTES,
+    observer: "Observer | None" = None,
+    faults: "FaultInjector | None" = None,
+) -> TieredStore:
+    """A tiered store over a persistent directory (the ``--store`` path).
+
+    This is also the worker-side rebuild entry point: pool workers call
+    ``open_store(**spec)`` with the parent's :meth:`TieredStore.spec`,
+    sharing the persistent directory while keeping private memory tiers.
+    """
+    memory = ArtifactCache(max_bytes=memory_bytes, faults=faults)
+    persistent = LocalStore(path, observer=observer, faults=faults)
+    store = TieredStore(memory, persistent)
+    if observer is not None:
+        store.observer = observer
+    return store

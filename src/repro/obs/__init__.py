@@ -19,7 +19,7 @@ The subsystem has four pieces:
 from repro.obs.ledger import RunLedger
 from repro.obs.metrics import MetricsRegistry, get_global_metrics
 from repro.obs.observer import Observer, ObserverDelta
-from repro.obs.reporting import render_run_report
+from repro.obs.reporting import render_run_diff, render_run_report
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -30,5 +30,6 @@ __all__ = [
     "Span",
     "Tracer",
     "get_global_metrics",
+    "render_run_diff",
     "render_run_report",
 ]

@@ -91,6 +91,10 @@ def absorb_engine_accounting(
     if report is not None:
         metrics.inc("cache_hits_total", float(report.cache_hits))
         metrics.inc("cache_misses_total", float(report.cache_misses))
+        hit_tiers = getattr(report, "hit_tiers", None)
+        if hit_tiers is not None:
+            for tier, count in hit_tiers().items():
+                metrics.inc("cache_tier_hits_total", float(count), tier=tier)
         metrics.inc("tasks_retried_total", float(report.retry_count))
         metrics.inc("tasks_degraded_total", float(report.degraded_count))
         metrics.inc("stage_records_total", float(len(report.records)))
@@ -151,6 +155,11 @@ class RunLedger:
             finished_at=finished_at,
             wall_seconds=finished_at - self.started_at,
         )
+        # Store provenance: which backend served this run (and, for a
+        # persistent store, the shared directory cross-run diffs key on).
+        describe = getattr(cache, "describe", None)
+        if callable(describe):
+            run_info["store"] = describe()
         self._write_json("run.json", run_info)
         (self.directory / "trace.jsonl").write_text(observer.tracer.to_jsonl())
         (self.directory / "metrics.json").write_text(metrics.to_json_text() + "\n")

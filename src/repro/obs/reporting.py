@@ -58,6 +58,17 @@ def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
     return [fmt(headers), "-" * len(fmt(headers))] + [fmt(r) for r in rows]
 
 
+def _describe_store(store: dict) -> str:
+    """One-line rendering of a run's store provenance block."""
+    backend = store.get("backend", "?")
+    if backend == "tiered":
+        persistent = store.get("persistent", {})
+        return f"tiered (persistent: {persistent.get('path', '?')})"
+    if backend == "local":
+        return f"local ({store.get('path', '?')})"
+    return str(backend)
+
+
 def render_run_report(run_dir: str | Path, top: int = 10) -> str:
     """The full textual report for one run directory."""
     run_dir = Path(run_dir)
@@ -80,6 +91,9 @@ def render_run_report(run_dir: str | Path, top: int = 10) -> str:
         if run.get("wall_seconds") is not None:
             lines.append(f"  wall    : {run['wall_seconds']:.2f}s  "
                          f"(python {run.get('python', '?')})")
+        store = run.get("store")
+        if isinstance(store, dict):
+            lines.append(f"  store   : {_describe_store(store)}")
 
     # per-stage timings
     stage_seconds = _labelled(metrics, "stage_seconds_total", "stage")
@@ -114,6 +128,36 @@ def render_run_report(run_dir: str | Path, top: int = 10) -> str:
             f"{int(counters.get('cache_restores_total', 0))} restores, "
             f"{int(counters.get('cache_corrupt_evictions_total', 0))} corrupt",
         ]
+
+    # persistent store tiers
+    tier_hits = _labelled(metrics, "cache_tier_hits_total", "tier")
+    if tier_hits:
+        lines.append(
+            "  tiers: " + ", ".join(
+                f"{int(count)} from {tier}"
+                for tier, count in sorted(tier_hits.items())
+            )
+        )
+    store_hits = counters.get("cache_persistent_hits_total", 0.0)
+    store_misses = counters.get("cache_persistent_misses_total", 0.0)
+    if store_hits or store_misses or counters.get("cache_persistent_puts_total"):
+        lines.append(
+            f"  persistent store: {int(store_hits)} hits / "
+            f"{int(store_misses)} misses, "
+            f"{int(counters.get('cache_persistent_puts_total', 0))} puts "
+            f"({int(counters.get('cache_persistent_bytes_written_total', 0))} B "
+            f"written, "
+            f"{int(counters.get('cache_persistent_bytes_read_total', 0))} B "
+            f"read), "
+            f"{int(counters.get('cache_persistent_corrupt_entries_total', 0))} "
+            f"corrupt"
+        )
+    memo_hits = counters.get("cache_fitmemo_hits_total", 0.0)
+    memo_puts = counters.get("cache_fitmemo_puts_total", 0.0)
+    if memo_hits or memo_puts:
+        lines.append(
+            f"  fit memo store: {int(memo_hits)} hits, {int(memo_puts)} puts"
+        )
 
     # fit-kernel counters
     fit = {
@@ -164,5 +208,132 @@ def render_run_report(run_dir: str | Path, top: int = 10) -> str:
                 ]
             )
         lines += _table(["span", "wall[s]", "cpu[s]", "status", "attributes"], rows)
+
+    return "\n".join(lines)
+
+
+def _hit_rate_of(counters: dict[str, float]) -> float | None:
+    hits = counters.get("cache_hits_total", 0.0)
+    misses = counters.get("cache_misses_total", 0.0)
+    total = hits + misses
+    return hits / total if total else None
+
+
+def render_run_diff(run_dir: str | Path, other_dir: str | Path) -> str:
+    """What changed between two persisted run ledgers.
+
+    ``python -m repro report RUN --diff OTHER`` lands here: the
+    cross-run view over stored ledgers that answers "what changed since
+    the last sweep" — provenance drift (command, seed, options, git,
+    store), per-stage wall time and call-count deltas, cache/store
+    efficiency movement, and fit-kernel totals.  ``other_dir`` is the
+    baseline; signs read as *this run minus baseline*.
+    """
+    a_dir, b_dir = Path(run_dir), Path(other_dir)
+    for missing in (d for d in (a_dir, b_dir) if not (d / "run.json").exists()):
+        return f"run ledger: no run directory at {missing}"
+    run_a, run_b = _load_json(a_dir / "run.json"), _load_json(b_dir / "run.json")
+    met_a = _load_json(a_dir / "metrics.json")
+    met_b = _load_json(b_dir / "metrics.json")
+    ctr_a, ctr_b = _counters(met_a), _counters(met_b)
+
+    lines = [f"run diff: {a_dir}  vs baseline  {b_dir}"]
+
+    # provenance drift
+    drift: list[str] = []
+    for field, label in (
+        ("command", "command"),
+        ("seed", "seed"),
+        ("options", "options"),
+        ("git_revision", "git"),
+        ("store", "store"),
+        ("python", "python"),
+    ):
+        va, vb = run_a.get(field), run_b.get(field)
+        if va != vb:
+            if field == "command":
+                va, vb = " ".join(va or []), " ".join(vb or [])
+            if field == "store":
+                va = _describe_store(va) if isinstance(va, dict) else va
+                vb = _describe_store(vb) if isinstance(vb, dict) else vb
+            drift.append(f"  {label}: {vb!r} -> {va!r}")
+    if drift:
+        lines += ["", "provenance changes"] + drift
+    else:
+        lines.append("  identical provenance (command, seed, options, git, store)")
+
+    wall_a, wall_b = run_a.get("wall_seconds"), run_b.get("wall_seconds")
+    if wall_a is not None and wall_b is not None:
+        lines.append(
+            f"  wall: {wall_b:.2f}s -> {wall_a:.2f}s  ({wall_a - wall_b:+.2f}s)"
+        )
+
+    # per-stage deltas
+    sec_a = _labelled(met_a, "stage_seconds_total", "stage")
+    sec_b = _labelled(met_b, "stage_seconds_total", "stage")
+    calls_a = _labelled(met_a, "stage_calls_total", "stage")
+    calls_b = _labelled(met_b, "stage_calls_total", "stage")
+    hits_a = _labelled(met_a, "stage_cache_hits_total", "stage")
+    hits_b = _labelled(met_b, "stage_cache_hits_total", "stage")
+    stages = sorted(
+        set(sec_a) | set(sec_b),
+        key=lambda s: sec_a.get(s, 0.0) + sec_b.get(s, 0.0),
+        reverse=True,
+    )
+    if stages:
+        rows = [
+            [
+                stage,
+                f"{int(calls_b.get(stage, 0))}->{int(calls_a.get(stage, 0))}",
+                f"{int(hits_b.get(stage, 0))}->{int(hits_a.get(stage, 0))}",
+                f"{sec_b.get(stage, 0.0):.3f}",
+                f"{sec_a.get(stage, 0.0):.3f}",
+                f"{sec_a.get(stage, 0.0) - sec_b.get(stage, 0.0):+.3f}",
+            ]
+            for stage in stages
+        ]
+        lines += ["", "per-stage deltas (baseline -> this run)"]
+        lines += _table(
+            ["stage", "calls", "hits", "base[s]", "this[s]", "delta[s]"], rows
+        )
+
+    # cache / store efficiency
+    rate_a, rate_b = _hit_rate_of(ctr_a), _hit_rate_of(ctr_b)
+    if rate_a is not None or rate_b is not None:
+        fmt = lambda r: f"{r:.1%}" if r is not None else "n/a"  # noqa: E731
+        lines += [
+            "",
+            f"cache hit rate: {fmt(rate_b)} -> {fmt(rate_a)}",
+        ]
+    for name, label in (
+        ("cache_persistent_hits_total", "store hits"),
+        ("cache_persistent_puts_total", "store puts"),
+        ("cache_fitmemo_hits_total", "fit-memo hits"),
+        ("tasks_retried_total", "retried attempts"),
+        ("tasks_degraded_total", "degraded tasks"),
+    ):
+        va, vb = ctr_a.get(name, 0.0), ctr_b.get(name, 0.0)
+        if va or vb:
+            lines.append(f"  {label}: {int(vb)} -> {int(va)}")
+
+    # fit-kernel totals
+    fit_names = sorted(
+        name
+        for name in set(ctr_a) | set(ctr_b)
+        if name.startswith("fit_") and name.endswith("_total")
+    )
+    fit_rows = [
+        [
+            name[len("fit_"):-len("_total")],
+            f"{int(ctr_b.get(name, 0.0))}",
+            f"{int(ctr_a.get(name, 0.0))}",
+            f"{int(ctr_a.get(name, 0.0) - ctr_b.get(name, 0.0)):+d}",
+        ]
+        for name in fit_names
+        if ctr_a.get(name, 0.0) or ctr_b.get(name, 0.0)
+    ]
+    if fit_rows:
+        lines += ["", "fit kernel (baseline -> this run)"]
+        lines += _table(["counter", "base", "this", "delta"], fit_rows)
 
     return "\n".join(lines)

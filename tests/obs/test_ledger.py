@@ -11,10 +11,11 @@ from repro.obs.reporting import render_run_report
 WINDOW = TimeWindow(2013.5, 2014.5)
 
 
-def run_once(tiny_internet, tiny_sources, run_dir):
+def run_once(tiny_internet, tiny_sources, run_dir, cache=None):
     """One observed window through the engine, finalized to a ledger."""
     obs = Observer()
-    engine = Executor(tiny_internet, tiny_sources, observer=obs)
+    kwargs = {} if cache is None else {"cache": cache}
+    engine = Executor(tiny_internet, tiny_sources, observer=obs, **kwargs)
     with obs.span("run"):
         engine.window_result(WINDOW)
     ledger = RunLedger(run_dir, command=["repro", "test"], seed=7)
@@ -113,6 +114,69 @@ class TestAbsorbEngineAccounting:
             assert obs.metrics.value("stage_calls_total", stage=stage) == stats.calls
 
 
+class TestStoreAccounting:
+    """Tier-labelled hit metrics and store provenance in the ledger."""
+
+    def warm_run(self, tiny_internet, tiny_sources, tmp_path):
+        from repro.engine.store import open_store
+
+        store_dir = tmp_path / "store"
+        Executor(
+            tiny_internet, tiny_sources, cache=open_store(store_dir)
+        ).window_result(WINDOW)
+        return run_once(
+            tiny_internet,
+            tiny_sources,
+            tmp_path / "run",
+            cache=open_store(store_dir),
+        )
+
+    def test_tier_hits_are_labelled_counters(
+        self, tiny_internet, tiny_sources, tmp_path
+    ):
+        engine = self.warm_run(tiny_internet, tiny_sources, tmp_path)
+        assert engine.report.hit_tiers() == {"persistent": 1}
+        metrics = json.loads(
+            (tmp_path / "run" / "metrics.json").read_text()
+        )
+        tiers = {
+            c["labels"]["tier"]: c["value"]
+            for c in metrics["counters"]
+            if c["name"] == "cache_tier_hits_total"
+        }
+        assert tiers == {"persistent": 1.0}
+
+    def test_run_json_records_store_provenance(
+        self, tiny_internet, tiny_sources, tmp_path
+    ):
+        self.warm_run(tiny_internet, tiny_sources, tmp_path)
+        run = json.loads((tmp_path / "run" / "run.json").read_text())
+        assert run["store"]["backend"] == "tiered"
+        assert run["store"]["persistent"]["path"] == str(tmp_path / "store")
+
+    def test_memory_only_run_records_memory_backend(
+        self, tiny_internet, tiny_sources, tmp_path
+    ):
+        run_once(tiny_internet, tiny_sources, tmp_path / "run")
+        run = json.loads((tmp_path / "run" / "run.json").read_text())
+        assert run["store"]["backend"] == "memory"
+
+    def test_persistent_counters_absorbed(
+        self, tiny_internet, tiny_sources, tmp_path
+    ):
+        self.warm_run(tiny_internet, tiny_sources, tmp_path)
+        metrics = json.loads(
+            (tmp_path / "run" / "metrics.json").read_text()
+        )
+        counters = {
+            c["name"]: c["value"]
+            for c in metrics["counters"]
+            if not c["labels"]
+        }
+        assert counters["cache_persistent_hits_total"] >= 1.0
+        assert "cache_fitmemo_puts_total" in counters
+
+
 class TestRendering:
     def test_report_renders_all_sections(self, tiny_internet, tiny_sources, tmp_path):
         run_dir = tmp_path / "run"
@@ -135,3 +199,54 @@ class TestRendering:
         text = render_run_report(tmp_path / "run")
         assert "[warning] cache.corrupt_spill" in text
         assert "key=k1" in text
+
+    def test_store_provenance_and_tier_hits_render(
+        self, tiny_internet, tiny_sources, tmp_path
+    ):
+        from repro.engine.store import open_store
+
+        store_dir = tmp_path / "store"
+        Executor(
+            tiny_internet, tiny_sources, cache=open_store(store_dir)
+        ).window_result(WINDOW)
+        run_once(
+            tiny_internet,
+            tiny_sources,
+            tmp_path / "run",
+            cache=open_store(store_dir),
+        )
+        text = render_run_report(tmp_path / "run")
+        assert "store   : tiered" in text
+        assert str(store_dir) in text
+        assert "1 from persistent" in text
+        assert "persistent store:" in text
+
+    def test_diff_between_cold_and_warm_runs(
+        self, tiny_internet, tiny_sources, tmp_path
+    ):
+        from repro.engine.store import open_store
+        from repro.obs.reporting import render_run_diff
+
+        store_dir = tmp_path / "store"
+        run_once(
+            tiny_internet,
+            tiny_sources,
+            tmp_path / "cold",
+            cache=open_store(store_dir),
+        )
+        run_once(
+            tiny_internet,
+            tiny_sources,
+            tmp_path / "warm",
+            cache=open_store(store_dir),
+        )
+        text = render_run_diff(tmp_path / "warm", tmp_path / "cold")
+        assert "run diff" in text
+        assert "cache hit rate" in text
+        assert "wall:" in text
+
+    def test_diff_on_missing_directory_fails_cleanly(self, tmp_path):
+        from repro.obs.reporting import render_run_diff
+
+        text = render_run_diff(tmp_path / "a", tmp_path / "b")
+        assert text.startswith("run ledger:")

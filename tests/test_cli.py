@@ -24,6 +24,27 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.scale_log2 == -12
 
+    def test_store_flag_default_off(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.store is None
+
+    def test_size_and_age_suffixes(self):
+        args = build_parser().parse_args(
+            ["store", "gc", "x", "--max-bytes", "2g", "--max-age", "7d"]
+        )
+        assert args.max_bytes == 2 * 1024**3
+        assert args.max_age == 7 * 86400.0
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["store", "gc", "x", "--max-bytes", "lots"]
+            )
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
 
 class TestCommands:
     """Each command runs end to end on a very small Internet."""
@@ -126,3 +147,87 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "run ledger" not in out
         assert "metrics written" not in out
+
+
+class TestArtifactStoreCli:
+    """--store on pipeline commands and the `store` subcommands."""
+
+    ARGS = ["--scale-log2", "-14", "--seed", "3"]
+
+    def warm_store(self, tmp_path, capsys):
+        """Two estimate runs against one store; returns their outputs."""
+        store = str(tmp_path / "store")
+        assert main(self.ARGS + ["--store", store, "estimate"]) == 0
+        cold = capsys.readouterr().out
+        assert main(self.ARGS + ["--store", store, "estimate"]) == 0
+        warm = capsys.readouterr().out
+        return store, cold, warm
+
+    def test_warm_run_output_is_identical(self, capsys, tmp_path):
+        _, cold, warm = self.warm_store(tmp_path, capsys)
+        assert warm == cold
+        assert "estimated" in warm
+
+    def test_store_stats_lists_stage_entries(self, capsys, tmp_path):
+        store, _, _ = self.warm_store(tmp_path, capsys)
+        assert main(["store", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out
+        assert "window_result" in out
+        assert "fitmemo" in out
+
+    def test_store_verify_clean_then_corrupt(self, capsys, tmp_path):
+        from pathlib import Path
+
+        store, _, _ = self.warm_store(tmp_path, capsys)
+        assert main(["store", "verify", store]) == 0
+        assert "corrupt: 0" in capsys.readouterr().out
+        victim = next(Path(store).rglob("*.npz"))
+        data = bytearray(victim.read_bytes())
+        data[-20] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        assert main(["store", "verify", store]) == 1
+        assert "corrupt: 1" in capsys.readouterr().out
+        assert main(["store", "verify", store, "--delete"]) == 1
+        assert not victim.exists()
+        assert main(["store", "verify", store]) == 0
+
+    def test_store_gc_by_age_empties_store(self, capsys, tmp_path):
+        store, _, _ = self.warm_store(tmp_path, capsys)
+        assert main(["store", "gc", store, "--max-age", "0s"]) == 0
+        out = capsys.readouterr().out
+        assert "kept:    0 entries" in out
+        assert main(["store", "stats", store]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_store_commands_on_missing_directory(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope")
+        # stats treats a missing directory as an empty store ...
+        assert main(["store", "stats", missing]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+        # ... but maintenance on one is a caller mistake.
+        for sub in ("gc", "verify"):
+            assert main(["store", sub, missing]) == 2
+            assert "no store directory" in capsys.readouterr().err
+
+    def test_report_diff_across_runs(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        cold_dir, warm_dir = str(tmp_path / "cold"), str(tmp_path / "warm")
+        for run_dir in (cold_dir, warm_dir):
+            assert main(
+                self.ARGS
+                + ["--store", store, "--trace", run_dir, "estimate"]
+            ) == 0
+            capsys.readouterr()
+        assert main(["report", warm_dir, "--diff", cold_dir]) == 0
+        out = capsys.readouterr().out
+        assert "run diff" in out
+        assert "cache hit rate" in out
+
+    def test_report_diff_missing_baseline(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main(self.ARGS + ["--trace", str(run_dir), "estimate"]) == 0
+        capsys.readouterr()
+        missing = str(tmp_path / "nope")
+        assert main(["report", str(run_dir), "--diff", missing]) == 2
+        assert "no run directory" in capsys.readouterr().err
