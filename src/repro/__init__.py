@@ -43,11 +43,20 @@ from repro.engine import (
     Executor,
     FaultInjector,
     FaultSpec,
+    FaultySource,
     LocalStore,
     RunReport,
+    SourceFaultSpec,
     TieredStore,
     WindowResult,
+    apply_source_faults,
     open_store,
+)
+from repro.integrity import (
+    QuarantinePolicy,
+    SourceHealth,
+    SourceHealthReport,
+    evaluate_health,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -95,11 +104,19 @@ __all__ = [
     "Executor",
     "FaultInjector",
     "FaultSpec",
+    "FaultySource",
     "LocalStore",
     "RunReport",
+    "SourceFaultSpec",
     "TieredStore",
     "WindowResult",
+    "apply_source_faults",
     "open_store",
+    # source integrity
+    "QuarantinePolicy",
+    "SourceHealth",
+    "SourceHealthReport",
+    "evaluate_health",
     # observability
     "MetricsRegistry",
     "Observer",

@@ -160,8 +160,17 @@ def cross_validate_window(
     degradation.
     """
     engine = getattr(engine, "engine", engine)
+    # Fold on the same view the estimation stages use: when the
+    # integrity layer quarantines (or drops) a source for this window,
+    # the folds realign on the surviving sources instead of holding a
+    # poisoned universe out against poisoned others.
+    datasets = (
+        engine.analysis_datasets(window)
+        if hasattr(engine, "analysis_datasets")
+        else engine.datasets(window)
+    )
     return cross_validate_all(
-        engine.datasets(window),
+        datasets,
         workers=workers,
         report=engine.report,
         policy=getattr(engine, "policy", None),

@@ -85,6 +85,24 @@ class EstimationPipeline:
         """Preprocessed (and optionally spoof-filtered) window datasets."""
         return self.engine.datasets(window, spoof_filtering)
 
+    def analysis_datasets(self, window: TimeWindow) -> dict[str, IPSet]:
+        """The datasets the estimation stages actually fit on.
+
+        Like :meth:`datasets` but with any sources the integrity layer
+        quarantined for this window removed.
+        """
+        return self.engine.analysis_datasets(window)
+
+    # -- source integrity ---------------------------------------------------
+
+    def window_health(self, window: TimeWindow):
+        """Per-source integrity verdicts for one window.
+
+        Returns the :class:`~repro.integrity.health.SourceHealthReport`
+        computed under ``options.quarantine``.
+        """
+        return self.engine.window_health(window)
+
     # -- estimation ---------------------------------------------------------
 
     def _estimator_options(self, limit: float) -> EstimatorOptions:

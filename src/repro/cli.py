@@ -22,6 +22,14 @@ retried), and ``--inject-faults SPEC`` arms the deterministic fault
 injector (``stage:kind[:index[:count[:seconds]]]``) to rehearse those
 paths.  Tasks that exhaust their retries are reported as degraded and
 dropped; surviving windows/folds still produce their estimates.
+
+Source integrity: ``--inject-faults`` also accepts *data* faults of
+the form ``source:NAME:kind[:amount[:start]]`` (kind one of
+drop/truncate/duplicate/skew/spoof) that poison a measurement source
+instead of a stage.  ``--quarantine-policy`` selects the preset the
+integrity layer judges sources under (``off``, ``lenient``,
+``default``, ``strict``), and ``repro health`` prints one window's
+per-source verdicts and the pairwise agreement matrix.
 """
 
 from __future__ import annotations
@@ -37,8 +45,15 @@ from repro.analysis.report import format_table, to_real
 from repro.analysis.supply import supply_by_rir, world_supply
 from repro.analysis.windows import TimeWindow
 from repro.engine.executor import ExecutionPolicy, Executor
-from repro.engine.faults import FaultInjector, FaultSpec
+from repro.engine.faults import (
+    FaultInjector,
+    SourceFaultSpec,
+    apply_source_faults,
+    parse_fault,
+)
+from repro.engine.stages import PipelineOptions
 from repro.engine.store import LocalStore, open_store
+from repro.integrity import POLICY_PRESETS, QuarantinePolicy
 from repro.obs.ledger import RunLedger, absorb_engine_accounting
 from repro.obs.observer import Observer
 from repro.obs.reporting import render_run_diff, render_run_report
@@ -106,11 +121,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall-clock timeout per pool task; a hung "
                         "task's pool is respawned and the task retried")
     parser.add_argument("--inject-faults", action="append", default=[],
-                        metavar="SPEC", type=FaultSpec.parse,
+                        metavar="SPEC", type=parse_fault,
                         help="deterministic fault injection, repeatable; "
                         "SPEC is stage:kind[:index[:count[:seconds]]] with "
                         "kind one of error/delay/kill/corrupt, e.g. "
-                        "window_result:kill:1 or crossval:delay:0:1:5")
+                        "window_result:kill:1 or crossval:delay:0:1:5 — or "
+                        "a source data fault "
+                        "source:NAME:kind[:amount[:start]] with kind one "
+                        "of drop/truncate/duplicate/skew/spoof, e.g. "
+                        "source:SWIN:spoof:200000:2013.5")
+    parser.add_argument("--quarantine-policy", choices=POLICY_PRESETS,
+                        default="default", metavar="PRESET",
+                        help="source-integrity preset judging each "
+                        f"source per window ({', '.join(POLICY_PRESETS)}); "
+                        "quarantined sources are excluded and the window "
+                        "refit on the rest (default: default)")
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="enable tracing and persist the run ledger "
                         "(spans, metrics, events, provenance) to DIR; "
@@ -144,6 +169,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the per-stage instrumentation table, "
                          "including fit-kernel counters (fits, warm-start "
                          "hits, IRLS iterations saved, Cholesky fallbacks)")
+
+    health = sub.add_parser(
+        "health",
+        help="per-source integrity verdicts and the pairwise "
+        "agreement matrix for one window",
+    )
+    health.add_argument("--window", type=_parse_window,
+                        default=TimeWindow(2013.5, 2014.5))
 
     crossval = sub.add_parser("crossval", help="leave-one-source-out "
                               "cross-validation")
@@ -237,10 +270,29 @@ def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
     policy = ExecutionPolicy(
         retries=args.retries, task_timeout=args.task_timeout
     )
+    stage_specs = [
+        s for s in args.inject_faults if not isinstance(s, SourceFaultSpec)
+    ]
+    source_specs = [
+        s for s in args.inject_faults if isinstance(s, SourceFaultSpec)
+    ]
     faults = (
-        FaultInjector(args.inject_faults, seed=args.seed)
-        if args.inject_faults
-        else None
+        FaultInjector(stage_specs, seed=args.seed) if stage_specs else None
+    )
+    sources = None
+    if source_specs:
+        from repro.sources.catalog import build_standard_sources
+
+        # Spoof injections draw from allocated space so they survive
+        # routed-space preprocessing and actually stress the filter.
+        sources = apply_source_faults(
+            build_standard_sources(internet),
+            source_specs,
+            seed=args.seed,
+            spoof_support=internet.registry.allocated_space(),
+        )
+    options = PipelineOptions(
+        quarantine=QuarantinePolicy.named(args.quarantine_policy)
     )
     observer = Observer() if (args.trace or args.metrics_out) else None
     cache = (
@@ -249,8 +301,8 @@ def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
         else None
     )
     engine = Executor(
-        internet, policy=policy, faults=faults, observer=observer,
-        cache=cache,
+        internet, sources, options, policy=policy, faults=faults,
+        observer=observer, cache=cache,
     )
     pipeline = EstimationPipeline(internet, engine=engine)
     if observer is not None and args.trace:
@@ -345,6 +397,70 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     ))
     print(f"\nest/ping {result.estimated_addresses / result.ping_addresses:.2f}"
           f"  est/obs {result.estimated_addresses / result.observed_addresses:.2f}")
+    _print_integrity_summary(result)
+    return 0
+
+
+def _print_integrity_summary(result) -> None:
+    """One line per integrity action taken on a window result."""
+    health = result.health
+    if health is None:
+        return
+    for name in result.excluded_sources:
+        record = next(h for h in health.sources if h.source == name)
+        print(f"quarantined {name}: {'; '.join(record.reasons)} "
+              f"(estimate refit without it)")
+    for name in health.suspect:
+        record = next(h for h in health.sources if h.source == name)
+        print(f"suspect {name}: {'; '.join(record.reasons)}")
+    if result.suspect_bracket is not None:
+        low, high = result.suspect_bracket
+        print(f"suspect sensitivity bracket: [{low:.0f}, {high:.0f}]")
+    for name, reason in health.dropped:
+        print(f"dropped {name} for this window: {reason}")
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Print one window's per-source verdicts and agreement matrix."""
+    pipeline = _pipeline(args)
+    report = pipeline.window_health(args.window)
+
+    def score(value: float) -> str:
+        return "-" if math.isnan(value) else f"{value:.3f}"
+
+    rows = [
+        [
+            h.source,
+            f"{h.addresses}",
+            score(h.bogon_fraction),
+            score(h.capture_zscore),
+            score(h.agreement_score),
+            h.verdict,
+            "; ".join(h.reasons),
+        ]
+        for h in report.sources
+    ]
+    print(format_table(
+        ["source", "addresses", "bogon", "zscore", "agreement",
+         "verdict", "reasons"],
+        rows,
+        title=f"source health, window {args.window.label()} "
+        f"(policy: {args.quarantine_policy})",
+    ))
+    names = report.agreement_names
+    if len(names):
+        print("\npairwise Chapman agreement matrix (population estimates)")
+        matrix_rows = [
+            [a] + [
+                "-" if math.isnan(report.agreement_matrix[i, j])
+                else f"{report.agreement_matrix[i, j]:.3g}"
+                for j in range(len(names))
+            ]
+            for i, a in enumerate(names)
+        ]
+        print(format_table([""] + list(names), matrix_rows))
+    for name, reason in report.dropped:
+        print(f"dropped {name} for this window: {reason}")
     return 0
 
 
@@ -379,6 +495,20 @@ def cmd_windows(args: argparse.Namespace) -> int:
     ))
     for window in missing_windows(windows, results):
         print(f"window {window.label()}: degraded, no estimate")
+    for result in results:
+        if result.is_degraded:
+            parts = []
+            if result.excluded_sources:
+                parts.append(
+                    "quarantined " + ",".join(result.excluded_sources)
+                )
+            if result.health is not None and result.health.dropped:
+                parts.append(
+                    "dropped "
+                    + ",".join(n for n, _ in result.health.dropped)
+                )
+            print(f"window {result.window.label()}: refit degraded "
+                  f"({'; '.join(parts)})")
     if len(results) >= 2:
         print(f"\nestimated growth/yr: "
               f"{series.growth_per_year('estimated'):.0f} addresses "
@@ -575,6 +705,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "estimate": cmd_estimate,
     "windows": cmd_windows,
+    "health": cmd_health,
     "crossval": cmd_crossval,
     "supply": cmd_supply,
     "sensitivity": cmd_sensitivity,

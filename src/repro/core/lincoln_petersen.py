@@ -11,6 +11,7 @@ against the log-linear models.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 from scipy import stats
@@ -99,6 +100,32 @@ def lincoln_petersen_from_sets(
     return lincoln_petersen_estimate(
         len(sample1), len(sample2), recaptured, confidence
     )
+
+
+def pairwise_chapman_matrix(
+    datasets: Mapping[str, IPSet]
+) -> tuple[tuple[str, ...], np.ndarray]:
+    """Symmetric matrix of pairwise Chapman population estimates.
+
+    Entry ``(i, j)`` is the two-sample Chapman estimate computed from
+    sources ``i`` and ``j`` alone; the diagonal is NaN.  Chapman's
+    variant is used (not classic L-P) because it stays finite when a
+    pair has zero overlap — exactly the degenerate geometry a broken
+    source produces.  The matrix is the integrity layer's consensus
+    structure: under the paper's assumptions every pair estimates the
+    same population, so a source whose row systematically departs from
+    the global level disagrees with the consensus overlap structure.
+    """
+    names = tuple(datasets)
+    matrix = np.full((len(names), len(names)), np.nan, dtype=np.float64)
+    sets = [datasets[name] for name in names]
+    sizes = [len(s) for s in sets]
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            recaptured = sets[i].overlap_count(sets[j])
+            estimate = chapman_estimate(sizes[i], sizes[j], recaptured)
+            matrix[i, j] = matrix[j, i] = estimate.population
+    return names, matrix
 
 
 def _check_counts(first: int, second: int, recaptured: int) -> None:

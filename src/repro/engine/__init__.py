@@ -19,7 +19,10 @@ dataflow a first-class object:
 * :mod:`repro.engine.faults` — a deterministic, seeded
   :class:`FaultInjector` (exceptions, delays, worker kills, spill
   corruption) that makes every recovery path of the executor's
-  :class:`ExecutionPolicy` testable in-process.
+  :class:`ExecutionPolicy` testable in-process, plus source-level
+  *data* faults (:class:`SourceFaultSpec` / :class:`FaultySource`:
+  drop, truncate, duplicate, clock-skew, spoof-inject) that drive the
+  integrity layer's detect→quarantine→refit path end to end.
 * :mod:`repro.engine.executor` — the :class:`Executor` that resolves
   stage graphs, fans independent work out across processes/threads and
   records instrumentation.
@@ -30,7 +33,15 @@ parallel-determinism contracts.
 
 from repro.engine.artifacts import Artifact, ArtifactCache, ArtifactKey
 from repro.engine.executor import ExecutionPolicy, Executor, fan_out
-from repro.engine.faults import FaultInjected, FaultInjector, FaultSpec
+from repro.engine.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultSpec,
+    FaultySource,
+    SourceFaultSpec,
+    apply_source_faults,
+    parse_fault,
+)
 from repro.engine.report import RunReport, StageRecord
 from repro.engine.store import (
     ArtifactStore,
@@ -64,6 +75,10 @@ __all__ = [
     "FaultInjected",
     "FaultInjector",
     "FaultSpec",
+    "FaultySource",
+    "SourceFaultSpec",
+    "apply_source_faults",
+    "parse_fault",
     "fan_out",
     "RunReport",
     "StageRecord",

@@ -525,6 +525,35 @@ class Executor:
         """Full observed/estimated/truth bundle for one window."""
         return self.run("window_result", window)
 
+    def window_health(self, window: TimeWindow):
+        """Per-source integrity verdicts for one window.
+
+        Resolves the ``source_health`` stage (a
+        :class:`~repro.integrity.health.SourceHealthReport`) whatever
+        the configured policy — with quarantining disabled the report
+        simply carries all-``ok`` verdicts.
+        """
+        return self.run("source_health", window)
+
+    def analysis_datasets(self, window: TimeWindow) -> dict[str, IPSet]:
+        """The window's datasets as the estimation stages see them.
+
+        :meth:`datasets` minus any quarantined sources — the view a
+        refit (and anything aligned with it, e.g. cross-validation
+        folds) must use so excluded sources stay excluded everywhere.
+        """
+        datasets = self.datasets(window)
+        policy = self.options.quarantine
+        if not policy.enabled or len(datasets) < 2:
+            return datasets
+        quarantined = self.window_health(window).quarantined
+        if not quarantined:
+            return datasets
+        return {
+            name: d for name, d in datasets.items()
+            if name not in quarantined
+        }
+
     # -- parallel fan-out -------------------------------------------------
 
     def run_windows(

@@ -9,8 +9,11 @@ value flows through the executor's artifact cache:
 
 ``collect → preprocess → spoof_filter → tabulate → fit → estimate``
 
-with ``window_result`` as the composite that assembles the paper's
-per-window report from the stage artifacts.
+with ``source_health`` branching off the filtered datasets (per-source
+integrity verdicts under the options' quarantine policy) and
+``window_result`` as the composite that assembles the paper's
+per-window report from the stage artifacts — refit without any
+quarantined sources.
 """
 
 from __future__ import annotations
@@ -24,6 +27,12 @@ from repro.core.loglinear import PopulationEstimate
 from repro.core.selection import ModelSelection, select_model
 from repro.filtering.preprocess import preprocess_dataset
 from repro.filtering.spoof_filter import SpoofFilter, detect_empty_blocks
+from repro.integrity.health import (
+    SourceHealthReport,
+    evaluate_health,
+    quarter_count_history,
+)
+from repro.integrity.policy import QuarantinePolicy
 from repro.ipspace.ipset import IPSet
 
 if TYPE_CHECKING:
@@ -31,6 +40,7 @@ if TYPE_CHECKING:
     # repro.analysis.__init__ imports modules that import the engine.
     from repro.analysis.windows import TimeWindow
     from repro.engine.executor import Executor
+    from repro.obs.observer import Observer
     from repro.simnet.internet import SyntheticInternet
     from repro.sources.base import MeasurementSource
 
@@ -56,6 +66,10 @@ class PipelineOptions:
     exclude_sources: tuple[str, ...] = ()
     min_stratum_observed: int = 30
     seed: int = 77
+    #: Source-integrity policy: health scoring plus quarantine/refit.
+    #: Nested frozen dataclasses digest cleanly into artifact keys, so
+    #: runs under different policies never share cache entries.
+    quarantine: QuarantinePolicy = QuarantinePolicy()
 
 
 @dataclass
@@ -74,6 +88,13 @@ class WindowResult:
     estimate_subnets: PopulationEstimate
     truth_addresses: int
     truth_subnets: int
+    #: Integrity verdicts for the window (None when the policy is off).
+    health: SourceHealthReport | None = None
+    #: Sources the estimates were refit without (quarantined).
+    excluded_sources: tuple[str, ...] = ()
+    #: Address-estimate range with vs without the suspect sources
+    #: (min, max); None when no source is suspect.
+    suspect_bracket: tuple[float, float] | None = None
 
     @property
     def estimated_addresses(self) -> float:
@@ -82,6 +103,13 @@ class WindowResult:
     @property
     def estimated_subnets(self) -> float:
         return self.estimate_subnets.population
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the fit ran on fewer sources than were collected."""
+        if self.excluded_sources:
+            return True
+        return self.health is not None and bool(self.health.dropped)
 
 
 def spoof_filter_seed(base_seed: int, source_name: str) -> int:
@@ -112,6 +140,10 @@ class RunContext:
     @property
     def options(self) -> PipelineOptions:
         return self._executor.options
+
+    @property
+    def observer(self) -> "Observer":
+        return self._executor.observer
 
     def run(self, stage: str, window: TimeWindow, **params: Any) -> Any:
         """Fetch an upstream artifact through the executor's cache."""
@@ -179,7 +211,11 @@ def _spoof_filter(ctx: RunContext, window: TimeWindow) -> dict[str, IPSet]:
             seed=spoof_filter_seed(ctx.options.seed, name),
         )
         result[name] = spoof_filter.apply(datasets[name]).filtered
-    return result
+    # A dataset the filter emptied carries no capture information for
+    # this window; drop it here (per window) like _preprocess does, so
+    # tabulate never sees a degenerate all-zero column.  The health
+    # stage records the drop and its reason.
+    return {name: d for name, d in result.items() if len(d)}
 
 
 def _level_datasets(
@@ -200,15 +236,40 @@ def _level_limit(ctx: RunContext, window: TimeWindow, level: str) -> float:
     return float(routing.subnet24_count(window.start, window.end))
 
 
+def _exclude_kw(exclude: tuple[str, ...]) -> dict[str, Any]:
+    """Param dict threading an exclusion set through cache keys.
+
+    Empty exclusions are omitted entirely so the keys of an
+    integrity-clean run are byte-identical to a pre-integrity run —
+    ``exclude=()`` and "no exclude param" must not cache separately.
+    """
+    return {"exclude": exclude} if exclude else {}
+
+
 def _tabulate(
-    ctx: RunContext, window: TimeWindow, level: str = "addresses"
+    ctx: RunContext,
+    window: TimeWindow,
+    level: str = "addresses",
+    exclude: tuple[str, ...] = (),
 ) -> ContingencyTable:
     """Capture-history contingency table at the requested granularity."""
-    return tabulate_histories(_level_datasets(ctx, window, level))
+    datasets = _level_datasets(ctx, window, level)
+    if exclude:
+        datasets = {n: d for n, d in datasets.items() if n not in exclude}
+    if len(datasets) < 2:
+        raise ValueError(
+            f"cannot tabulate {len(datasets)} source(s) for window "
+            f"{window.start:.2f}-{window.end:.2f} "
+            f"(excluded: {sorted(exclude)})"
+        )
+    return tabulate_histories(datasets)
 
 
 def _fit(
-    ctx: RunContext, window: TimeWindow, level: str = "addresses"
+    ctx: RunContext,
+    window: TimeWindow,
+    level: str = "addresses",
+    exclude: tuple[str, ...] = (),
 ) -> ModelSelection:
     """Model selection and fit on the window's table."""
     opts = ctx.options
@@ -217,7 +278,7 @@ def _fit(
     if distribution == "auto":
         distribution = "truncated" if limit is not None else "poisson"
     return select_model(
-        ctx.run("tabulate", window, level=level),
+        ctx.run("tabulate", window, level=level, **_exclude_kw(exclude)),
         criterion=opts.criterion,
         divisor=opts.divisor,
         max_order=opts.max_order,
@@ -227,17 +288,174 @@ def _fit(
 
 
 def _estimate(
-    ctx: RunContext, window: TimeWindow, level: str = "addresses"
+    ctx: RunContext,
+    window: TimeWindow,
+    level: str = "addresses",
+    exclude: tuple[str, ...] = (),
 ) -> PopulationEstimate:
     """Point estimate of the population at the requested granularity."""
-    return ctx.run("fit", window, level=level).fit.estimate()
+    selection = ctx.run("fit", window, level=level, **_exclude_kw(exclude))
+    return selection.fit.estimate()
+
+
+def _source_health(ctx: RunContext, window: TimeWindow) -> SourceHealthReport:
+    """Score every source's health for the window and apply the policy.
+
+    Pure observables only: the checks see the analysis datasets, the
+    spoof-free references and raw capture counts — never simulation
+    ground truth.  The verdicts are emitted as ``source_health``
+    metrics and ``integrity.*`` events at compute time (cache hits do
+    not re-emit, matching the fit-counter convention).
+    """
+    policy = ctx.options.quarantine
+    raw = ctx.run("collect", window)
+    pre = ctx.run("preprocess", window)
+    datasets = ctx.datasets(window)
+    dropped = tuple(
+        (
+            name,
+            "empty_after_preprocess"
+            if name not in pre
+            else "empty_after_spoof_filter",
+        )
+        for name in raw
+        if name not in datasets
+    )
+    # Empty calibration blocks for the bogon check, detected against
+    # the *post-filter* datasets: residue the spoof filter missed (or
+    # injected poison in an unfiltered source) lights these up, while
+    # the NetFlow sources' by-design pre-filter spoofing does not.
+    empty = []
+    refs = [datasets[n] for n in SPOOF_FREE_REFERENCES if n in datasets]
+    others = [
+        d for n, d in datasets.items() if n not in SPOOF_FREE_REFERENCES
+    ]
+    if refs and others:
+        reference = refs[0].union(*refs[1:])
+        candidates = [
+            a.prefix for a in ctx.internet.registry
+            if a.routed_from < window.end
+        ]
+        empty = detect_empty_blocks(
+            others[0].union(*others[1:]), reference, candidates
+        )
+    quarter_counts = {
+        name: quarter_count_history(
+            ctx.sources[name], window.start, window.end
+        )
+        for name in datasets
+        if name in ctx.sources
+    }
+    # Temporal-agreement baseline: the same analysis datasets one
+    # window-length back.  Only sources whose availability covers the
+    # whole previous window participate (a source still ramping in
+    # would look like a fault); with fewer than four such sources the
+    # check abstains, so early windows never run the prior-window
+    # pipeline at all.
+    duration = window.end - window.start
+    prev_start, prev_end = window.start - duration, window.end - duration
+    eligible = {
+        name
+        for name in datasets
+        if name in ctx.sources
+        and ctx.sources[name].available_from <= prev_start + 1e-9
+        and ctx.sources[name].available_to >= prev_end - 1e-9
+    }
+    previous = None
+    if len(eligible) >= 4:
+        prev_window = type(window)(prev_start, prev_end)
+        previous = {
+            name: data
+            for name, data in ctx.datasets(prev_window).items()
+            if name in eligible
+        }
+    report = evaluate_health(
+        datasets,
+        policy=policy,
+        bounds=(window.start, window.end),
+        empty_blocks=empty,
+        quarter_counts=quarter_counts,
+        previous=previous,
+        dropped=dropped,
+    )
+    _emit_health(ctx, window, report)
+    return report
+
+
+def _emit_health(
+    ctx: RunContext, window: TimeWindow, report: SourceHealthReport
+) -> None:
+    obs = ctx.observer
+    label = f"{window.start:.2f}-{window.end:.2f}"
+    for health in report.sources:
+        obs.inc(
+            "source_health_verdicts_total",
+            source=health.source,
+            verdict=health.verdict,
+        )
+        if health.verdict == "quarantined":
+            obs.inc("source_quarantined_total", source=health.source)
+            obs.event(
+                "integrity.quarantine",
+                level="warning",
+                source=health.source,
+                window=label,
+                reasons="; ".join(health.reasons),
+            )
+        elif health.verdict == "suspect":
+            obs.event(
+                "integrity.suspect",
+                level="info",
+                source=health.source,
+                window=label,
+                reasons="; ".join(health.reasons),
+            )
+    for name, reason in report.dropped:
+        obs.inc("source_dropped_total", source=name, reason=reason)
+        obs.event(
+            "integrity.source_dropped",
+            level="warning",
+            source=name,
+            window=label,
+            reason=reason,
+        )
 
 
 def _window_result(ctx: RunContext, window: TimeWindow) -> WindowResult:
-    """Full observed/estimated/truth bundle for one window."""
+    """Full observed/estimated/truth bundle for one window.
+
+    With the quarantine policy enabled this is where detection turns
+    into graceful degradation: quarantined sources are excluded and the
+    estimates refit on the remaining ones (a degraded-but-valid
+    result), while suspect sources produce a with/without sensitivity
+    bracket alongside the headline estimate.
+    """
     datasets = ctx.datasets(window)
-    union = IPSet.empty().union(*datasets.values())
-    ping = datasets.get("IPING", IPSet.empty())
+    policy = ctx.options.quarantine
+    health: SourceHealthReport | None = None
+    excluded: tuple[str, ...] = ()
+    suspects: tuple[str, ...] = ()
+    if policy.enabled and len(datasets) >= 2:
+        health = ctx.run("source_health", window)
+        excluded = tuple(sorted(health.quarantined))
+        suspects = health.suspect
+    kept = {n: d for n, d in datasets.items() if n not in excluded}
+    estimate_addresses = ctx.run(
+        "estimate", window, level="addresses", **_exclude_kw(excluded)
+    )
+    estimate_subnets = ctx.run(
+        "estimate", window, level="subnets", **_exclude_kw(excluded)
+    )
+    suspect_bracket = None
+    if suspects and len(kept) - len(suspects) >= 2:
+        without = tuple(sorted(set(excluded) | set(suspects)))
+        alternative = ctx.run(
+            "estimate", window, level="addresses", exclude=without
+        )
+        pair = (estimate_addresses.population, alternative.population)
+        suspect_bracket = (min(pair), max(pair))
+    union = IPSet.empty().union(*kept.values())
+    ping = kept.get("IPING", IPSet.empty())
     internet = ctx.internet
     return WindowResult(
         window=window,
@@ -248,10 +466,13 @@ def _window_result(ctx: RunContext, window: TimeWindow) -> WindowResult:
         observed_subnets=len(union.subnets24()),
         ping_addresses=len(ping),
         ping_subnets=len(ping.subnets24()),
-        estimate_addresses=ctx.run("estimate", window, level="addresses"),
-        estimate_subnets=ctx.run("estimate", window, level="subnets"),
+        estimate_addresses=estimate_addresses,
+        estimate_subnets=estimate_subnets,
         truth_addresses=internet.truth_used_addresses(window.start, window.end),
         truth_subnets=internet.truth_used_subnets(window.start, window.end),
+        health=health,
+        excluded_sources=excluded,
+        suspect_bracket=suspect_bracket,
     )
 
 
@@ -279,6 +500,7 @@ STAGES: dict[str, Stage] = {
         Stage("collect", _collect),
         Stage("preprocess", _preprocess, deps=("collect",)),
         Stage("spoof_filter", _spoof_filter, deps=("preprocess",)),
+        Stage("source_health", _source_health, deps=("collect", "spoof_filter")),
         Stage("tabulate", _tabulate, deps=("spoof_filter",)),
         Stage("fit", _fit, deps=("tabulate",)),
         Stage("estimate", _estimate, deps=("fit",)),

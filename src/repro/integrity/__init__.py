@@ -1,0 +1,46 @@
+"""Source-integrity subsystem: health scoring, quarantine, refit.
+
+The paper's estimates hinge on trusting nine heterogeneous sources;
+this package diagnoses each source per window (bogon residue,
+capture-count surprise, consensus disagreement), turns the scores into
+``ok``/``suspect``/``quarantined`` verdicts under a configurable
+:class:`QuarantinePolicy`, and lets the engine refit on the surviving
+sources — a poisoned source degrades one window's fit, it no longer
+silently biases the sweep.
+"""
+
+from repro.integrity.checks import (
+    agreement_scores,
+    bogon_fraction,
+    capture_count_zscore,
+)
+from repro.integrity.health import (
+    SourceHealth,
+    SourceHealthReport,
+    evaluate_health,
+    quarter_count_history,
+)
+from repro.integrity.policy import (
+    POLICY_PRESETS,
+    VERDICT_OK,
+    VERDICT_QUARANTINED,
+    VERDICT_SUSPECT,
+    VERDICTS,
+    QuarantinePolicy,
+)
+
+__all__ = [
+    "QuarantinePolicy",
+    "SourceHealth",
+    "SourceHealthReport",
+    "evaluate_health",
+    "quarter_count_history",
+    "agreement_scores",
+    "bogon_fraction",
+    "capture_count_zscore",
+    "POLICY_PRESETS",
+    "VERDICTS",
+    "VERDICT_OK",
+    "VERDICT_SUSPECT",
+    "VERDICT_QUARANTINED",
+]

@@ -1,0 +1,157 @@
+"""Per-source health checks.
+
+Three independent signals, each a pure function of observable data
+(never of simulation ground truth), each returning NaN when it cannot
+be computed — the policy treats NaN as "no evidence":
+
+1. **Bogon fraction** — the share of a source's analysis dataset that
+   falls inside 'empty' calibration blocks (routed space essentially
+   unused by every spoof-free reference, the paper's Section 4.5
+   anchor).  Legitimate datasets concentrate where the references see
+   hosts; uniform spoof residue lights up the empty blocks.
+
+2. **Capture-count z-score** — the window's per-quarter raw capture
+   counts against the source's own trailing quarters, compared on the
+   log-difference (growth-rate) basis so steady exponential growth
+   scores near zero while floods, dropouts and truncations produce
+   order-of-magnitude jumps.
+
+3. **Agreement score** — consensus-departure from the pairwise Chapman
+   matrix (:func:`repro.core.lincoln_petersen.pairwise_chapman_matrix`),
+   measured *temporally*: each pair's estimate is compared with the
+   same pair's estimate one window-length earlier, and a source's
+   score is how far its median pairwise log-change sits from the
+   consensus change.  The paper's sources are heterogeneous by design
+   (census rows sit several e-folds from log rows even when healthy),
+   so a static outlier test cannot separate broken from merely
+   different; the per-pair self-comparison cancels that heterogeneity
+   exactly, and capture-recapture estimates are invariant to capture-
+   *rate* changes, so a healthy source scores ~0 whatever its growth
+   while a poisoned one drags every pair it participates in.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.lincoln_petersen import pairwise_chapman_matrix
+from repro.ipspace.ipset import IPSet
+from repro.ipspace.prefixes import Prefix
+
+#: Trailing quarters inspected for the capture-count baseline.
+DEFAULT_TRAILING_QUARTERS = 6
+
+#: Floor on the baseline growth-rate spread: quarterly log-diffs of a
+#: steady source vary by a few percent, and without a floor a nearly
+#: constant baseline would turn benign seasonal wiggle into huge z.
+_MIN_LOG_DIFF_SPREAD = 0.08
+
+
+def bogon_fraction(
+    dataset: IPSet, empty_blocks: Sequence[Prefix]
+) -> float:
+    """Fraction of ``dataset`` inside the empty calibration blocks.
+
+    NaN when the dataset is empty or no calibration blocks were
+    detected (no evidence either way).
+    """
+    if not len(dataset) or not empty_blocks:
+        return float("nan")
+    addrs = dataset.addresses
+    inside = 0
+    for prefix in empty_blocks:
+        inside += int(
+            np.searchsorted(addrs, prefix.end)
+            - np.searchsorted(addrs, prefix.base)
+        )
+    return inside / len(dataset)
+
+
+def capture_count_zscore(
+    trailing: Sequence[int], current: Sequence[int]
+) -> float:
+    """Largest |z| of the window's quarter-to-quarter growth rates.
+
+    ``trailing`` holds the source's per-quarter capture counts for the
+    quarters immediately before the window, ``current`` the counts for
+    the window's own quarters, both in chronological order.  Counts
+    are compared in log1p space via first differences, so the statistic
+    measures growth-*rate* surprise: a source growing steadily at any
+    rate scores ~0, while a spoof flood (sudden 5x), a dropout (count
+    collapsing to ~0) or a truncated quarter all produce a large jump
+    in the difference sequence.  Needs at least four trailing quarters
+    (three baseline growth rates); otherwise NaN.
+    """
+    trailing = [int(c) for c in trailing]
+    current = [int(c) for c in current]
+    if len(trailing) < 4 or not current:
+        return float("nan")
+    series = np.log1p(np.asarray(trailing + current, dtype=np.float64))
+    diffs = np.diff(series)
+    baseline = diffs[: len(trailing) - 1]
+    windowed = diffs[len(trailing) - 1:]
+    spread = max(float(np.std(baseline)), _MIN_LOG_DIFF_SPREAD)
+    return float(np.max(np.abs(windowed - float(np.mean(baseline)))) / spread)
+
+
+#: Minimum common partners per source (and sources with a delta) for
+#: the temporal agreement statistic to be meaningful.
+_MIN_AGREEMENT_PAIRS = 3
+_MIN_AGREEMENT_SOURCES = 4
+
+
+def agreement_scores(
+    datasets: Mapping[str, IPSet],
+    previous: Mapping[str, IPSet] | None = None,
+) -> tuple[tuple[str, ...], np.ndarray, dict[str, float]]:
+    """Consensus-departure score per source from the Chapman matrix.
+
+    Returns ``(names, matrix, scores)``.  ``matrix`` is the window's
+    pairwise Chapman matrix (the disagreement diagnostic surfaced in
+    reports).  ``scores[name]`` is the temporal-consensus statistic:
+    with ``previous`` holding the same sources' datasets one
+    window-length earlier,
+
+    ``score_i = | median_j log(M_ij / M'_ij)  -  consensus |``
+
+    where ``M``/``M'`` are the current/previous matrices and
+    ``consensus`` is the median of the per-source medians (the common
+    population-growth term every healthy pair shares).  Comparing each
+    pair with *itself* cancels the sources' built-in heterogeneity;
+    medians keep one bad source from contaminating innocent scores
+    (it corrupts only one entry of each other source's row).  Scores
+    are NaN without a previous window, for sources absent from it, or
+    with fewer than four scorable sources.
+    """
+    names, matrix = pairwise_chapman_matrix(datasets)
+    scores: dict[str, float] = {name: float("nan") for name in names}
+    if previous is None or len(names) < _MIN_AGREEMENT_SOURCES:
+        return names, matrix, scores
+    prev_names, prev_matrix = pairwise_chapman_matrix(previous)
+    prev_index = {name: i for i, name in enumerate(prev_names)}
+    deltas: dict[str, float] = {}
+    for i, name in enumerate(names):
+        if name not in prev_index:
+            continue
+        pi = prev_index[name]
+        pair_changes = []
+        for j, other in enumerate(names):
+            if other == name or other not in prev_index:
+                continue
+            current = matrix[i, j]
+            prior = prev_matrix[pi, prev_index[other]]
+            if (
+                np.isfinite(current) and np.isfinite(prior)
+                and current > 0 and prior > 0
+            ):
+                pair_changes.append(float(np.log(current / prior)))
+        if len(pair_changes) >= _MIN_AGREEMENT_PAIRS:
+            deltas[name] = float(np.median(pair_changes))
+    if len(deltas) < _MIN_AGREEMENT_SOURCES:
+        return names, matrix, scores
+    consensus = float(np.median(list(deltas.values())))
+    for name, delta in deltas.items():
+        scores[name] = abs(delta - consensus)
+    return names, matrix, scores

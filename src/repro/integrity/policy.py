@@ -1,0 +1,154 @@
+"""Quarantine policy: turning health scores into verdicts.
+
+The policy is a frozen, hashable configuration object so it can live
+inside :class:`~repro.engine.stages.PipelineOptions` and participate
+in every artifact key — two runs with different quarantine settings
+never share cache entries.  Thresholds come in (suspect, quarantine)
+pairs per check; a score at or above the suspect threshold marks the
+source ``suspect`` (estimates get a with/without sensitivity bracket),
+at or above the quarantine threshold the source is ``quarantined``
+(excluded from the fit, which is refit on the remaining sources).
+
+``min_sources`` is the floor under quarantining: the policy never
+leaves fewer than that many sources in the fit, demoting the least
+extreme offenders back to ``suspect`` — capture-recapture on one or
+two sources is worse than estimating with a degraded one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The three verdicts, in increasing severity.
+VERDICT_OK = "ok"
+VERDICT_SUSPECT = "suspect"
+VERDICT_QUARANTINED = "quarantined"
+VERDICTS = (VERDICT_OK, VERDICT_SUSPECT, VERDICT_QUARANTINED)
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Thresholds mapping per-source health scores to verdicts.
+
+    Scores the checks could not compute (NaN — e.g. a z-score with no
+    trailing history, or an agreement score with too few sources)
+    never trigger a verdict: absence of evidence is treated as clean.
+    """
+
+    #: Master switch: disabled means no health stage, no quarantining.
+    enabled: bool = True
+    #: Fraction of a source's (post-filter) dataset inside detected
+    #: empty calibration blocks — residual bogon mass.
+    bogon_suspect: float = 0.02
+    bogon_quarantine: float = 0.10
+    #: Largest |z| of the window's per-quarter capture-count growth
+    #: against the source's trailing quarters (log-diff basis).
+    zscore_suspect: float = 6.0
+    zscore_quarantine: float = 12.0
+    #: Temporal consensus departure: |median pairwise Chapman
+    #: log-change minus the consensus change| against the previous
+    #: window (clean sources sit well under 0.2; a poisoned source
+    #: drags every pair it participates in by e-folds).
+    agreement_suspect: float = 0.5
+    agreement_quarantine: float = 1.0
+    #: Never quarantine below this many remaining sources.
+    min_sources: int = 3
+
+    def __post_init__(self) -> None:
+        for check in ("bogon", "zscore", "agreement"):
+            suspect = getattr(self, f"{check}_suspect")
+            quarantine = getattr(self, f"{check}_quarantine")
+            if suspect < 0 or quarantine < suspect:
+                raise ValueError(
+                    f"{check} thresholds must satisfy "
+                    f"0 <= suspect <= quarantine, got ({suspect}, {quarantine})"
+                )
+        if self.min_sources < 2:
+            raise ValueError("min_sources must be >= 2 (capture-recapture)")
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def named(cls, name: str) -> "QuarantinePolicy":
+        """A named preset: ``off``, ``lenient``, ``default`` or ``strict``."""
+        try:
+            return _PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown quarantine policy {name!r}; "
+                f"choose from {', '.join(_PRESETS)}"
+            ) from None
+
+    # -- judgement ---------------------------------------------------------
+
+    def judge(
+        self,
+        bogon_fraction: float,
+        capture_zscore: float,
+        agreement_score: float,
+    ) -> tuple[str, tuple[str, ...]]:
+        """Verdict plus human-readable reasons for one source's scores."""
+        if not self.enabled:
+            return VERDICT_OK, ()
+        checks = (
+            ("bogon_fraction", bogon_fraction,
+             self.bogon_suspect, self.bogon_quarantine),
+            ("capture_zscore", capture_zscore,
+             self.zscore_suspect, self.zscore_quarantine),
+            ("agreement_score", agreement_score,
+             self.agreement_suspect, self.agreement_quarantine),
+        )
+        verdict = VERDICT_OK
+        reasons = []
+        for label, score, suspect, quarantine in checks:
+            if score is None or math.isnan(score):
+                continue
+            if score >= quarantine:
+                verdict = VERDICT_QUARANTINED
+                reasons.append(f"{label} {score:.3g} >= {quarantine:.3g}")
+            elif score >= suspect:
+                if verdict == VERDICT_OK:
+                    verdict = VERDICT_SUSPECT
+                reasons.append(f"{label} {score:.3g} >= {suspect:.3g}")
+        return verdict, tuple(reasons)
+
+    def severity(
+        self,
+        bogon_fraction: float,
+        capture_zscore: float,
+        agreement_score: float,
+    ) -> float:
+        """Scalar badness used to rank offenders under ``min_sources``.
+
+        The maximum score-to-quarantine-threshold ratio across checks;
+        NaN scores contribute nothing.
+        """
+        ratios = [0.0]
+        for score, quarantine in (
+            (bogon_fraction, self.bogon_quarantine),
+            (capture_zscore, self.zscore_quarantine),
+            (agreement_score, self.agreement_quarantine),
+        ):
+            if score is not None and not math.isnan(score) and quarantine > 0:
+                ratios.append(score / quarantine)
+        return max(ratios)
+
+
+_PRESETS: dict[str, QuarantinePolicy] = {
+    "off": QuarantinePolicy(enabled=False),
+    "lenient": QuarantinePolicy(
+        bogon_suspect=0.05, bogon_quarantine=0.25,
+        zscore_suspect=10.0, zscore_quarantine=20.0,
+        agreement_suspect=1.0, agreement_quarantine=2.0,
+    ),
+    "default": QuarantinePolicy(),
+    "strict": QuarantinePolicy(
+        bogon_suspect=0.01, bogon_quarantine=0.05,
+        zscore_suspect=4.0, zscore_quarantine=8.0,
+        agreement_suspect=0.3, agreement_quarantine=0.6,
+    ),
+}
+
+#: The preset names the CLI exposes via ``--quarantine-policy``.
+POLICY_PRESETS = tuple(_PRESETS)

@@ -43,6 +43,18 @@ def _labelled(metrics: dict, name: str, label: str) -> dict[str, float]:
     }
 
 
+def _multi_labelled(
+    metrics: dict, name: str, *labels: str
+) -> dict[tuple[str, ...], float]:
+    """``{(label-values...): value}`` for a multi-label counter family."""
+    return {
+        tuple(c["labels"][label] for label in labels): c["value"]
+        for c in metrics.get("counters", [])
+        if c["name"] == name
+        and all(label in c.get("labels", {}) for label in labels)
+    }
+
+
 def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
     """Minimal right-padded text table (first column left-aligned)."""
     widths = [
@@ -172,6 +184,30 @@ def render_run_report(run_dir: str | Path, top: int = 10) -> str:
                 f"{int(v)} {k}" for k, v in sorted(fit.items()) if v
             ),
         ]
+
+    # source integrity
+    verdicts = _multi_labelled(
+        metrics, "source_health_verdicts_total", "source", "verdict"
+    )
+    health_dropped = _multi_labelled(
+        metrics, "source_dropped_total", "source", "reason"
+    )
+    if verdicts or health_dropped:
+        lines += ["", "source integrity (source-windows per verdict)"]
+        names = sorted(
+            {s for s, _ in verdicts} | {s for s, _ in health_dropped}
+        )
+        rows = [
+            [
+                name,
+                f"{int(verdicts.get((name, 'ok'), 0))}",
+                f"{int(verdicts.get((name, 'suspect'), 0))}",
+                f"{int(verdicts.get((name, 'quarantined'), 0))}",
+                f"{int(sum(v for (s, _), v in health_dropped.items() if s == name))}",
+            ]
+            for name in names
+        ]
+        lines += _table(["source", "ok", "suspect", "quarantined", "dropped"], rows)
 
     # retry / degradation table
     retried = counters.get("tasks_retried_total", 0.0)
@@ -313,6 +349,14 @@ def render_run_diff(run_dir: str | Path, other_dir: str | Path) -> str:
         ("tasks_degraded_total", "degraded tasks"),
     ):
         va, vb = ctr_a.get(name, 0.0), ctr_b.get(name, 0.0)
+        if va or vb:
+            lines.append(f"  {label}: {int(vb)} -> {int(va)}")
+    for name, label in (
+        ("source_quarantined_total", "quarantined source-windows"),
+        ("source_dropped_total", "dropped source-windows"),
+    ):
+        va = sum(_labelled(met_a, name, "source").values())
+        vb = sum(_labelled(met_b, name, "source").values())
         if va or vb:
             lines.append(f"  {label}: {int(vb)} -> {int(va)}")
 

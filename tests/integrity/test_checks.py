@@ -1,0 +1,142 @@
+"""Unit tests for the per-source health checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.integrity.checks import (
+    agreement_scores,
+    bogon_fraction,
+    capture_count_zscore,
+)
+from repro.ipspace.ipset import IPSet
+from repro.ipspace.prefixes import Prefix
+
+
+class TestBogonFraction:
+    def test_counts_addresses_inside_blocks(self):
+        blocks = [Prefix.parse("10.0.0.0/24")]
+        inside = np.arange(0x0A000000, 0x0A000010, dtype=np.uint32)
+        outside = np.arange(0x14000000, 0x14000030, dtype=np.uint32)
+        dataset = IPSet(np.concatenate([inside, outside]))
+        assert bogon_fraction(dataset, blocks) == pytest.approx(16 / 64)
+
+    def test_no_blocks_is_nan(self):
+        assert math.isnan(bogon_fraction(IPSet([1, 2, 3]), []))
+
+    def test_empty_dataset_is_nan(self):
+        assert math.isnan(
+            bogon_fraction(IPSet.empty(), [Prefix.parse("10.0.0.0/24")])
+        )
+
+    def test_all_inside(self):
+        blocks = [Prefix.parse("10.0.0.0/24")]
+        dataset = IPSet(np.arange(0x0A000000, 0x0A000020, dtype=np.uint32))
+        assert bogon_fraction(dataset, blocks) == 1.0
+
+
+class TestCaptureCountZscore:
+    def test_steady_growth_scores_low(self):
+        # 5% growth per quarter: the log-diff sequence is constant, so
+        # continuing it should surprise nobody.
+        counts = [int(1000 * 1.05**k) for k in range(10)]
+        z = capture_count_zscore(counts[:6], counts[6:])
+        assert z < 1.0
+
+    def test_flood_scores_high(self):
+        trailing = [int(1000 * 1.05**k) for k in range(6)]
+        current = [200_000, 210_000, 220_000, 230_000]
+        assert capture_count_zscore(trailing, current) > 12
+
+    def test_dropout_scores_high(self):
+        trailing = [int(1000 * 1.05**k) for k in range(6)]
+        assert capture_count_zscore(trailing, [1300, 0, 0, 0]) > 12
+
+    def test_short_history_is_nan(self):
+        assert math.isnan(capture_count_zscore([100, 110, 120], [130]))
+
+    def test_no_current_is_nan(self):
+        assert math.isnan(capture_count_zscore([100] * 6, []))
+
+    def test_noisy_baseline_absorbs_wiggle(self):
+        # A source whose counts already wiggle needs a bigger jump.
+        trailing = [1000, 1400, 900, 1500, 950, 1450]
+        z_same = capture_count_zscore(trailing, [1000, 1450])
+        assert z_same < 3
+
+
+def _two_window_samples(rng, prev_size, cur_size, probs):
+    """Independent captures of a growing population, both windows."""
+    population = np.sort(
+        rng.choice(2**30, size=cur_size, replace=False)
+    ).astype(np.uint32)
+    prev_pop = population[:prev_size]
+    prev, cur = {}, {}
+    for i, p in enumerate(probs):
+        name = f"S{i}"
+        prev[name] = IPSet.from_sorted_unique(
+            prev_pop[rng.random(prev_size) < p]
+        )
+        cur[name] = IPSet.from_sorted_unique(
+            population[rng.random(cur_size) < p]
+        )
+    return prev, cur
+
+
+class TestAgreementScores:
+    def test_clean_growth_scores_near_zero(self):
+        rng = np.random.default_rng(7)
+        prev, cur = _two_window_samples(
+            rng, 3000, 3300, [0.3, 0.4, 0.5, 0.35, 0.45]
+        )
+        _, _, scores = agreement_scores(cur, prev)
+        assert all(np.isfinite(list(scores.values())))
+        assert max(scores.values()) < 0.3
+
+    def test_poisoned_source_stands_out(self):
+        rng = np.random.default_rng(7)
+        prev, cur = _two_window_samples(
+            rng, 3000, 3300, [0.3, 0.4, 0.5, 0.35, 0.45]
+        )
+        # Flood S0's current window with addresses nobody else sees:
+        # every pair it participates in blows up, the others don't move.
+        junk = (2**30 + np.arange(40_000, dtype=np.uint32)).astype(np.uint32)
+        cur["S0"] = cur["S0"].union(IPSet(junk))
+        _, _, scores = agreement_scores(cur, prev)
+        assert scores["S0"] > 1.0
+        assert all(
+            scores[name] < 0.5 for name in scores if name != "S0"
+        )
+
+    def test_no_previous_is_nan(self):
+        rng = np.random.default_rng(7)
+        _, cur = _two_window_samples(rng, 3000, 3300, [0.3, 0.4, 0.5, 0.35])
+        names, matrix, scores = agreement_scores(cur)
+        assert all(math.isnan(v) for v in scores.values())
+        # The matrix itself is still produced (it is the diagnostic).
+        off_diagonal = matrix[~np.isnan(matrix)]
+        assert off_diagonal.size == len(names) * (len(names) - 1)
+
+    def test_too_few_sources_is_nan(self):
+        rng = np.random.default_rng(7)
+        prev, cur = _two_window_samples(rng, 3000, 3300, [0.4, 0.5, 0.6])
+        _, _, scores = agreement_scores(cur, prev)
+        assert all(math.isnan(v) for v in scores.values())
+
+    def test_source_missing_from_previous_is_nan(self):
+        rng = np.random.default_rng(7)
+        prev, cur = _two_window_samples(
+            rng, 3000, 3300, [0.3, 0.4, 0.5, 0.35, 0.45]
+        )
+        del prev["S2"]
+        _, _, scores = agreement_scores(cur, prev)
+        assert math.isnan(scores["S2"])
+        assert np.isfinite(scores["S0"])
+
+    def test_matrix_is_symmetric(self):
+        rng = np.random.default_rng(7)
+        _, cur = _two_window_samples(rng, 3000, 3300, [0.3, 0.4, 0.5, 0.35])
+        _, matrix, _ = agreement_scores(cur)
+        filled = np.nan_to_num(matrix)
+        assert np.allclose(filled, filled.T)

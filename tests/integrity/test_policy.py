@@ -1,0 +1,195 @@
+"""Quarantine policy: verdicts, presets, the min-sources floor."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrity import (
+    POLICY_PRESETS,
+    VERDICT_OK,
+    VERDICT_QUARANTINED,
+    VERDICT_SUSPECT,
+    QuarantinePolicy,
+    evaluate_health,
+)
+from repro.ipspace.ipset import IPSet
+from repro.ipspace.prefixes import Prefix
+
+NAN = float("nan")
+
+
+class TestJudge:
+    def test_all_clean(self):
+        policy = QuarantinePolicy()
+        assert policy.judge(0.0, 1.0, 0.1) == (VERDICT_OK, ())
+
+    def test_nan_is_no_evidence(self):
+        policy = QuarantinePolicy()
+        assert policy.judge(NAN, NAN, NAN) == (VERDICT_OK, ())
+
+    def test_suspect_threshold(self):
+        policy = QuarantinePolicy()
+        verdict, reasons = policy.judge(0.05, 1.0, 0.1)
+        assert verdict == VERDICT_SUSPECT
+        assert "bogon_fraction" in reasons[0]
+
+    def test_quarantine_wins_over_suspect(self):
+        policy = QuarantinePolicy()
+        verdict, reasons = policy.judge(0.05, 50.0, 0.1)
+        assert verdict == VERDICT_QUARANTINED
+        assert len(reasons) == 2
+
+    def test_each_check_can_quarantine(self):
+        policy = QuarantinePolicy()
+        for scores in ((0.5, NAN, NAN), (NAN, 20.0, NAN), (NAN, NAN, 2.0)):
+            assert policy.judge(*scores)[0] == VERDICT_QUARANTINED
+
+    def test_disabled_judges_nothing(self):
+        policy = QuarantinePolicy.named("off")
+        assert policy.judge(1.0, 100.0, 10.0) == (VERDICT_OK, ())
+
+    def test_severity_ranks_worst_first(self):
+        policy = QuarantinePolicy()
+        mild = policy.severity(NAN, 13.0, NAN)
+        wild = policy.severity(NAN, 50.0, NAN)
+        assert wild > mild > 1.0
+
+
+class TestPresets:
+    def test_all_presets_resolve(self):
+        for name in POLICY_PRESETS:
+            assert isinstance(QuarantinePolicy.named(name), QuarantinePolicy)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown quarantine policy"):
+            QuarantinePolicy.named("paranoid")
+
+    def test_strict_is_tighter_than_lenient(self):
+        strict = QuarantinePolicy.named("strict")
+        lenient = QuarantinePolicy.named("lenient")
+        assert strict.zscore_quarantine < lenient.zscore_quarantine
+        assert strict.agreement_quarantine < lenient.agreement_quarantine
+        assert strict.bogon_quarantine < lenient.bogon_quarantine
+
+    def test_invalid_thresholds_raise(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            QuarantinePolicy(zscore_suspect=10.0, zscore_quarantine=5.0)
+        with pytest.raises(ValueError, match="min_sources"):
+            QuarantinePolicy(min_sources=1)
+
+    def test_policy_is_hashable(self):
+        assert hash(QuarantinePolicy()) == hash(QuarantinePolicy())
+        assert QuarantinePolicy() != QuarantinePolicy.named("strict")
+
+
+def _datasets(n, size=200):
+    return {
+        f"S{i}": IPSet(np.arange(i * size, (i + 1) * size, dtype=np.uint32))
+        for i in range(n)
+    }
+
+
+class TestEvaluateHealth:
+    def test_min_sources_floor_demotes(self):
+        # Every source fails the bogon check outright, but the policy
+        # must keep at least min_sources in the fit: the mildest
+        # offenders are demoted to suspect.
+        datasets = _datasets(5)
+        blocks = [Prefix(0, 8)]  # 0.0.0.0/8 covers every dataset
+        report = evaluate_health(
+            datasets,
+            policy=QuarantinePolicy(min_sources=3),
+            empty_blocks=blocks,
+        )
+        assert len(report.quarantined) == 2
+        demoted = [
+            h for h in report.sources
+            if h.verdict == VERDICT_SUSPECT
+            and any("min_sources" in r for r in h.reasons)
+        ]
+        assert len(demoted) == 3
+
+    def test_clean_report_accessors(self):
+        report = evaluate_health(
+            _datasets(4), policy=QuarantinePolicy()
+        )
+        assert set(report.ok) == {"S0", "S1", "S2", "S3"}
+        assert report.suspect == () and report.quarantined == ()
+        assert not report.is_degraded
+        assert report.verdict_of("S1") == VERDICT_OK
+        with pytest.raises(KeyError):
+            report.verdict_of("NOPE")
+
+    def test_dropped_marks_degraded(self):
+        report = evaluate_health(
+            _datasets(4),
+            policy=QuarantinePolicy(),
+            dropped=(("S9", "empty_after_preprocess"),),
+        )
+        assert report.is_degraded
+
+    def test_quarter_counts_feed_zscore(self):
+        counts = {
+            "S0": ((1000, 1050, 1100, 1160, 1220, 1280), (90_000,)),
+        }
+        report = evaluate_health(
+            _datasets(4), policy=QuarantinePolicy(), quarter_counts=counts
+        )
+        assert report.verdict_of("S0") == VERDICT_QUARANTINED
+        assert math.isnan(report.sources[1].capture_zscore)
+
+
+class TestCleanSourcesScoreOkProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_clean_sources_are_never_flagged(self, seed):
+        """Healthy captures of a growing population always judge ok.
+
+        The false-positive property the whole subsystem rests on: a
+        population growing at a steady rate, sampled independently by
+        4-6 sources with stable capture probabilities and steadily
+        growing raw counts, must never be marked suspect or
+        quarantined under the default policy.
+        """
+        rng = np.random.default_rng(seed)
+        n_sources = int(rng.integers(4, 7))
+        probs = rng.uniform(0.2, 0.6, n_sources)
+        growth = rng.uniform(1.02, 1.15)
+        cur_size = int(rng.integers(2000, 4000))
+        prev_size = int(cur_size / growth)
+        population = np.sort(
+            rng.choice(2**30, size=cur_size, replace=False)
+        ).astype(np.uint32)
+        prev, cur, counts = {}, {}, {}
+        for i, p in enumerate(probs):
+            name = f"S{i}"
+            prev_mask = rng.random(prev_size) < p
+            cur_mask = rng.random(cur_size) < p
+            prev[name] = IPSet.from_sorted_unique(
+                population[:prev_size][prev_mask]
+            )
+            cur[name] = IPSet.from_sorted_unique(population[cur_mask])
+            # Raw counts compound the same growth with a little noise.
+            q = growth**0.25
+            base = 500 * p
+            counts[name] = (
+                tuple(
+                    int(base * q**k * rng.uniform(0.97, 1.03))
+                    for k in range(6)
+                ),
+                tuple(
+                    int(base * q**(6 + k) * rng.uniform(0.97, 1.03))
+                    for k in range(4)
+                ),
+            )
+        report = evaluate_health(
+            cur,
+            policy=QuarantinePolicy(),
+            previous=prev,
+            quarter_counts=counts,
+        )
+        assert report.suspect == ()
+        assert report.quarantined == ()

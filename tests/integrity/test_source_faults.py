@@ -1,0 +1,188 @@
+"""Source-level data faults: parsing, determinism, semantics."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.faults import (
+    FaultSpec,
+    FaultySource,
+    SourceFaultSpec,
+    apply_source_faults,
+    parse_fault,
+)
+from repro.ipspace.intervals import IntervalSet
+from repro.ipspace.ipset import IPSet
+from repro.ipspace.prefixes import Prefix
+from repro.sources.base import MeasurementSource, quarter_of
+
+
+class _StubSource(MeasurementSource):
+    """Deterministic per-quarter content: 50 addresses per quarter."""
+
+    def __init__(self, name="STUB", available_from=2011.0):
+        super().__init__(name, available_from=available_from)
+
+    def collect(self, start, end):
+        lo = max(start, self.available_from)
+        hi = min(end, self.available_to)
+        if lo >= hi:
+            return IPSet.empty()
+        chunks = [
+            np.arange(q * 100, q * 100 + 50, dtype=np.uint32)
+            for q in range(quarter_of(lo), quarter_of(hi - 1e-9) + 1)
+        ]
+        return IPSet(np.concatenate(chunks))
+
+
+class TestSpecParsing:
+    def test_full_form(self):
+        spec = SourceFaultSpec.parse("source:SWIN:spoof:200000:2013.5")
+        assert spec == SourceFaultSpec("SWIN", "spoof", 200000.0, 2013.5)
+
+    def test_default_amount(self):
+        spec = SourceFaultSpec.parse("source:SPAM:drop")
+        assert spec.amount == 0.0 and spec.start == float("-inf")
+
+    def test_empty_amount_field_keeps_default(self):
+        spec = SourceFaultSpec.parse("source:MLAB:drop::2014.0")
+        assert spec.amount == 0.0 and spec.start == 2014.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SourceFaultSpec.parse("source:SWIN:melt")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError, match="source fault spec"):
+            SourceFaultSpec.parse("SWIN:spoof")
+
+    def test_truncate_amount_is_fraction(self):
+        with pytest.raises(ValueError, match="truncate"):
+            SourceFaultSpec("SWIN", "truncate", 2.0)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SourceFaultSpec("SWIN", "skew", -1.0)
+
+    def test_parse_fault_dispatches(self):
+        assert isinstance(
+            parse_fault("source:SWIN:drop"), SourceFaultSpec
+        )
+        assert isinstance(parse_fault("tabulate:error"), FaultSpec)
+
+
+class TestFaultSemantics:
+    def test_drop_empties_after_onset_only(self):
+        faulty = FaultySource(
+            _StubSource(), [SourceFaultSpec("STUB", "drop", start=2013.0)]
+        )
+        assert len(faulty.collect(2012.0, 2013.0)) == len(
+            _StubSource().collect(2012.0, 2013.0)
+        )
+        assert len(faulty.collect(2013.0, 2014.0)) == 0
+
+    def test_truncate_keeps_roughly_the_fraction(self):
+        faulty = FaultySource(
+            _StubSource(), [SourceFaultSpec("STUB", "truncate", 0.5)]
+        )
+        base = _StubSource().collect(2012.0, 2013.0)
+        kept = faulty.collect(2012.0, 2013.0)
+        assert 0.3 * len(base) < len(kept) < 0.7 * len(base)
+        assert base.contains(kept.addresses).all()
+
+    def test_duplicate_unions_stale_quarters(self):
+        faulty = FaultySource(
+            _StubSource(), [SourceFaultSpec("STUB", "duplicate", 2.0)]
+        )
+        window = faulty.collect(2013.0, 2013.25)
+        base = _StubSource().collect(2012.5, 2013.25)
+        assert len(window) == len(base)
+
+    def test_skew_serves_the_past(self):
+        faulty = FaultySource(
+            _StubSource(), [SourceFaultSpec("STUB", "skew", 1.0)]
+        )
+        skewed = faulty.collect(2013.0, 2014.0)
+        past = _StubSource().collect(2012.0, 2013.0)
+        assert np.array_equal(skewed.addresses, past.addresses)
+
+    def test_spoof_draws_inside_support(self):
+        support = IntervalSet.from_prefixes([Prefix.parse("200.0.0.0/8")])
+        faulty = FaultySource(
+            _StubSource(),
+            [SourceFaultSpec("STUB", "spoof", 500.0)],
+            spoof_support=support,
+        )
+        data = faulty.collect(2013.0, 2013.25)
+        injected = data.addresses[data.addresses >= 0xC8000000]
+        assert len(injected) > 400
+        assert (injected < 0xC9000000).all()
+
+    def test_onset_respects_quarters(self):
+        faulty = FaultySource(
+            _StubSource(),
+            [SourceFaultSpec("STUB", "drop", start=2013.25)],
+        )
+        # Window straddling the onset keeps the pre-onset quarter.
+        window = faulty.collect(2013.0, 2013.5)
+        assert len(window) == 50
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        spec = [SourceFaultSpec("STUB", "truncate", 0.5)]
+        a = FaultySource(_StubSource(), spec, seed=3)
+        b = FaultySource(_StubSource(), spec, seed=3)
+        assert np.array_equal(
+            a.collect(2012.0, 2014.0).addresses,
+            b.collect(2012.0, 2014.0).addresses,
+        )
+
+    def test_different_seed_different_data(self):
+        spec = [SourceFaultSpec("STUB", "truncate", 0.5)]
+        a = FaultySource(_StubSource(), spec, seed=3)
+        b = FaultySource(_StubSource(), spec, seed=4)
+        assert not np.array_equal(
+            a.collect(2012.0, 2014.0).addresses,
+            b.collect(2012.0, 2014.0).addresses,
+        )
+
+    def test_pickle_roundtrip_preserves_draws(self):
+        support = IntervalSet.from_prefixes([Prefix.parse("200.0.0.0/8")])
+        faulty = FaultySource(
+            _StubSource(),
+            [SourceFaultSpec("STUB", "spoof", 500.0)],
+            seed=11,
+            spoof_support=support,
+        )
+        clone = pickle.loads(pickle.dumps(faulty))
+        assert np.array_equal(
+            faulty.collect(2013.0, 2014.0).addresses,
+            clone.collect(2013.0, 2014.0).addresses,
+        )
+
+
+class TestApplySourceFaults:
+    def test_wraps_only_targets(self):
+        sources = {"A": _StubSource("A"), "B": _StubSource("B")}
+        wrapped = apply_source_faults(sources, ["source:A:drop"])
+        assert isinstance(wrapped["A"], FaultySource)
+        assert wrapped["B"] is sources["B"]
+
+    def test_wildcard_wraps_all(self):
+        sources = {"A": _StubSource("A"), "B": _StubSource("B")}
+        wrapped = apply_source_faults(sources, ["source:*:drop"])
+        assert all(isinstance(s, FaultySource) for s in wrapped.values())
+        assert all(len(s.collect(2012.0, 2013.0)) == 0
+                   for s in wrapped.values())
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(ValueError, match="NOPE"):
+            apply_source_faults({"A": _StubSource("A")}, ["source:NOPE:drop"])
+
+    def test_availability_is_delegated(self):
+        src = _StubSource(available_from=2013.0)
+        wrapped = apply_source_faults({"STUB": src}, ["source:STUB:drop"])
+        assert not wrapped["STUB"].available_in(2011.0, 2012.0)
+        assert wrapped["STUB"].available_in(2013.0, 2014.0)

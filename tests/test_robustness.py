@@ -18,14 +18,26 @@ from repro.sources.base import MeasurementSource
 
 
 class _BrokenSource(MeasurementSource):
-    """A source that only ever reports unroutable garbage."""
+    """A source that reports unroutable garbage — always, or only
+    inside ``broken_from``..``broken_to`` (the per-window failure
+    mode: a feed that goes dark for one window and recovers)."""
 
-    def __init__(self):
+    def __init__(self, broken_from=float("-inf"), broken_to=float("inf")):
         super().__init__("BROKEN", available_from=2011.0)
+        self.broken_from = broken_from
+        self.broken_to = broken_to
+        self._healthy = IPSet.empty()
+
+    def healthy_like(self, other):
+        """Serve ``other``'s data outside the broken interval."""
+        self._healthy = other
+        return self
 
     def collect(self, start, end):
-        # Private space: preprocessing must remove everything.
-        return IPSet(np.arange(0x0A000000, 0x0A000400, dtype=np.uint32))
+        if start < self.broken_to and end > self.broken_from:
+            # Private space: preprocessing must remove everything.
+            return IPSet(np.arange(0x0A000000, 0x0A000400, dtype=np.uint32))
+        return self._healthy
 
 
 class TestPipelineFailureInjection:
@@ -40,6 +52,29 @@ class TestPipelineFailureInjection:
         assert "BROKEN" not in datasets
         result = pipeline.run_window(window)
         assert np.isfinite(result.estimated_addresses)
+
+    def test_window_broken_source_dropped_per_window(
+        self, tiny_internet, tiny_sources
+    ):
+        """A source emptied for ONE window is dropped for that window
+        only — and the drop is recorded with its reason — while other
+        windows keep using it."""
+        broken_window = TimeWindow(2013.5, 2014.5)
+        healthy_window = TimeWindow(2012.5, 2013.5)
+        source = _BrokenSource(
+            broken_from=2013.5, broken_to=2014.5
+        ).healthy_like(tiny_sources["GAME"].collect(2011.0, 2014.5))
+        sources = dict(tiny_sources)
+        sources["BROKEN"] = source
+        pipeline = EstimationPipeline(
+            tiny_internet, sources, PipelineOptions(min_stratum_observed=25)
+        )
+        assert "BROKEN" not in pipeline.datasets(broken_window)
+        assert "BROKEN" in pipeline.datasets(healthy_window)
+        result = pipeline.run_window(broken_window)
+        assert np.isfinite(result.estimated_addresses)
+        assert result.is_degraded
+        assert ("BROKEN", "empty_after_preprocess") in result.health.dropped
 
     def test_pipeline_with_two_sources_only(self, tiny_internet,
                                             tiny_sources):
