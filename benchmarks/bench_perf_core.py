@@ -87,7 +87,25 @@ def test_perf_select_model(benchmark, nine_sources):
 
     The heaviest fit-layer consumer: one selection fits dozens of
     candidate models, so warm starts + memoisation dominate here.
+    Pinned to the sequential kernel so this median keeps guarding the
+    one-at-a-time path (the ``--no-batch-fits`` escape hatch).
     """
+    from repro.core import fitkernel
+    from repro.core.selection import select_model
+
+    table = tabulate_histories(nine_sources)
+    fitkernel.set_batch_fits(False)
+    try:
+        selection = benchmark(lambda: select_model(table, max_order=2))
+    finally:
+        fitkernel.set_batch_fits(True)
+    assert np.isfinite(selection.selected_ic)
+    assert selection.fit.estimate().population > table.num_observed
+
+
+def test_perf_select_model_batched(benchmark, nine_sources):
+    """Same selection through the batched kernel: each stepwise round's
+    candidates become one stacked lattice solve."""
     from repro.core.selection import select_model
 
     table = tabulate_histories(nine_sources)
@@ -106,6 +124,34 @@ def test_perf_profile_interval(benchmark, nine_sources):
         lambda: profile_likelihood_interval(table, terms, alpha=0.001)
     )
     assert interval.population_low <= interval.population_high
+
+
+def test_perf_sweep_batched(benchmark):
+    """Four-window engine sweep, batched kernel, serial pool.
+
+    The regression gate's *required* benchmark (see
+    ``check_regression.REQUIRED_BENCHMARKS``): this median is the
+    committed evidence that batching pays on the full staged path, so a
+    candidate run that silently drops it fails the gate.
+    """
+    from repro.analysis.windows import TimeWindow
+    from repro.engine import Executor
+    from repro.simnet.internet import SimulationConfig, SyntheticInternet
+
+    windows = [
+        TimeWindow(2011.0, 2012.0),
+        TimeWindow(2012.0, 2013.0),
+        TimeWindow(2013.0, 2014.0),
+        TimeWindow(2013.5, 2014.5),
+    ]
+    internet = SyntheticInternet(SimulationConfig(scale=2.0**-14, seed=20140630))
+
+    def sweep():
+        return Executor(internet).run_windows(windows, workers=1)
+
+    results = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(results) == len(windows)
+    assert all(r.estimate_addresses.population > 0 for r in results)
 
 
 def test_perf_vacancy_histogram(benchmark):

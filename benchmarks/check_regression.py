@@ -41,6 +41,13 @@ BASELINE_FILES = ("BENCH_perf_core.json", "BENCH_perf_fit.json")
 #: Allowed slowdown of the median before the gate fails.
 DEFAULT_THRESHOLD = 0.30
 
+#: Benchmarks the candidate run must contain.  Ordinary benchmarks
+#: missing on one side are reported but never fail (adding one does not
+#: force regenerating every baseline); these are load-bearing evidence
+#: — the batched sweep median proves the batched kernel still pays on
+#: the full staged path — so a candidate that silently drops one fails.
+REQUIRED_BENCHMARKS = ("test_perf_sweep_batched",)
+
 #: Committed metrics export of the reference observability sweep.
 #: Schema 2 nests a cold and a warm (second run against a shared
 #: artifact store) export under ``{"schema": 2, "cold": ..., "warm":
@@ -86,12 +93,15 @@ def compare(
 ) -> list[str]:
     """Human-readable comparison rows; regressions are marked ``FAIL``."""
     rows = []
-    for name in sorted(set(baseline) | set(candidate)):
+    for name in sorted(set(baseline) | set(candidate) | set(REQUIRED_BENCHMARKS)):
+        required = name in REQUIRED_BENCHMARKS
         if name not in candidate:
-            rows.append(f"SKIP {name}: not in candidate run")
+            verdict = "FAIL" if required else "SKIP"
+            rows.append(f"{verdict} {name}: not in candidate run")
             continue
         if name not in baseline:
-            rows.append(f"SKIP {name}: no committed baseline")
+            verdict = "FAIL" if required else "SKIP"
+            rows.append(f"{verdict} {name}: no committed baseline")
             continue
         base, cand = baseline[name], candidate[name]
         ratio = cand / base if base > 0 else float("inf")
@@ -148,6 +158,25 @@ def self_test(threshold: float) -> int:
         )
         return 1
     print("self-test passed: gate flags the slowdown and only the slowdown")
+
+    # The required-benchmark gate: a candidate that silently drops a
+    # required benchmark must fail even though every present median is
+    # clean.
+    for required in REQUIRED_BENCHMARKS:
+        if required not in baseline:
+            continue
+        dropped = dict(baseline)
+        dropped.pop(required)
+        dropped_rows = compare(baseline, dropped, threshold)
+        dropped_fails = [r for r in dropped_rows if r.startswith("FAIL")]
+        if len(dropped_fails) != 1 or required not in dropped_fails[0]:
+            print(
+                "self-test FAILED: gate did not flag the dropped required "
+                f"benchmark {required} (fails: {dropped_fails})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"self-test passed: gate flags a dropped {required}")
 
     # Same drill for the cache-efficiency gate: a synthetic candidate
     # with half the baseline's hits must fail, an identical one pass.

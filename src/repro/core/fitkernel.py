@@ -11,6 +11,12 @@ layer observable:
   back to ``lstsq`` — the old behaviour, pseudo-inverse semantics and
   all — whenever the factorisation fails or produces a non-finite
   solution (rank-deficient or otherwise degenerate designs).
+* :class:`BatchedIrlsSolver` runs the same solve over a stack of
+  same-shape designs at once: one batched normal-equations build, one
+  batched Cholesky of the ``(G, p, p)`` stack, and a per-member
+  ``dposv``/``lstsq`` fallback for degenerate members only.  Stepwise
+  selection and the profile scans group their candidate fits through
+  it (see :func:`repro.core.glm.fit_poisson_batch`).
 * :class:`FitCounters` and the module-level totals record fits, IRLS
   iterations run and saved, warm-start hits, memoisation hits, Cholesky
   fallbacks and design-matrix cache traffic.  The engine snapshots the
@@ -211,14 +217,313 @@ class IrlsSolver:
         return solution
 
 
+def _superset_sums(table: np.ndarray, t: int) -> None:
+    """In-place zeta transform over supersets, batched on axis 0.
+
+    On return ``table[:, m] = sum_{h : h & m == m} table_in[:, h]`` for
+    every ``t``-bit mask ``m``.  The bitwise sweep is a fixed summation
+    order, so results are deterministic.
+    """
+    rows = table.shape[0]
+    for bit in range(t):
+        step = 1 << bit
+        view = table.reshape(rows, -1, 2, step)
+        view[:, :, 0, :] += view[:, :, 1, :]
+
+
+def _subset_sums(table: np.ndarray, t: int) -> None:
+    """In-place zeta transform over subsets, batched on axis 0: on
+    return ``table[:, h] = sum_{m : m & h == m} table_in[:, m]``."""
+    rows = table.shape[0]
+    for bit in range(t):
+        step = 1 << bit
+        view = table.reshape(rows, -1, 2, step)
+        view[:, :, 1, :] += view[:, :, 0, :]
+
+
+class _LatticeStructure:
+    """Subset-lattice view of a stack of log-linear indicator designs.
+
+    When every column of every member is the superset indicator of a
+    bitmask over ``t`` sources (exactly what :func:`design_matrix`
+    builds, rows being capture histories in bitmask order), the normal
+    equations collapse to table lookups into one superset-sum (zeta)
+    transform of the weights:
+
+    ``(X'WX)[j,k] = sum_{h >= mask_j | mask_k} w_h = Z(w)[mask_j | mask_k]``
+
+    The transform costs ``t * 2**t`` adds per member instead of the
+    ``n * p**2`` gemm, and the linear predictor is likewise a
+    subset-sum of the coefficients scattered onto their masks — so IRLS
+    never touches the dense design stack at all.
+    """
+
+    __slots__ = ("t", "offset", "masks", "union", "rowidx", "duplicates")
+
+    def __init__(self, t, offset, masks, union):
+        self.t = t
+        self.offset = offset
+        self.masks = masks
+        self.union = union
+        self.rowidx = np.arange(masks.shape[0])[:, None]
+        # Distinct columns can share a mask only in degenerate designs
+        # (duplicate columns); those need the accumulate-scatter.
+        sorted_masks = np.sort(masks, axis=1)
+        self.duplicates = bool(
+            (sorted_masks[:, 1:] == sorted_masks[:, :-1]).any()
+        )
+
+
+def _lattice_shape(n: int) -> tuple[int, int] | None:
+    """``(t, offset)`` when ``n`` rows cover a ``t``-bit history lattice
+    (with or without the all-zero history), else ``None``."""
+    if n >= 2 and n & (n + 1) == 0:  # n = 2**t - 1: histories 1 .. 2**t-1
+        return (n + 1).bit_length() - 1, 1
+    if n >= 2 and n & (n - 1) == 0:  # n = 2**t: history 0 included
+        return n.bit_length() - 1, 0
+    return None
+
+
+def _lattice_from_masks(X: np.ndarray, masks) -> _LatticeStructure:
+    """Build the lattice view from caller-supplied column masks.
+
+    Trusted-caller fast path: skips the full structural scan of
+    :func:`_detect_lattice`.  One column is still spot-checked against
+    its indicator — that catches a misordered layout (the realistic
+    caller bug) for ``O(n)`` instead of ``O(G n p)``.
+    """
+    G, n, p = X.shape
+    masks = np.ascontiguousarray(masks, dtype=np.int64)
+    if masks.shape != (G, p):
+        raise ValueError(f"masks must be {(G, p)}, got {masks.shape}")
+    shape = _lattice_shape(n)
+    if shape is None:
+        raise ValueError(f"{n} design rows do not cover a history lattice")
+    t, offset = shape
+    histories = np.arange(offset, offset + n, dtype=np.int64)
+    mask = masks[0, p - 1]
+    if not np.array_equal(
+        (histories & mask) == mask, X[0, :, p - 1] != 0.0
+    ):
+        raise ValueError("masks do not describe the design stack")
+    union = (masks[:, :, None] | masks[:, None, :]).reshape(G, p * p)
+    return _LatticeStructure(t, offset, masks, union)
+
+
+def _detect_lattice(X: np.ndarray) -> _LatticeStructure | None:
+    """Exact structure check: ``X`` as a stack of history-indicator
+    designs, or ``None`` (integer comparisons, no tolerance)."""
+    G, n, p = X.shape
+    shape = _lattice_shape(n)
+    if shape is None or p > n:
+        return None
+    t, offset = shape
+    if not ((X == 0.0) | (X == 1.0)).all():
+        return None
+    ones = X != 0.0
+    histories = np.arange(offset, offset + n, dtype=np.int64)
+    full = (1 << t) - 1
+    # A column's mask is the AND of the histories it flags; the column
+    # is lattice-structured iff it then equals that mask's indicator.
+    selected = np.where(ones, histories[None, :, None], full)
+    masks = np.bitwise_and.reduce(selected, axis=1)
+    indicator = (histories[None, :, None] & masks[:, None, :]) == masks[:, None, :]
+    if (indicator != ones).any():
+        return None
+    union = (masks[:, :, None] | masks[:, None, :]).reshape(G, p * p)
+    return _LatticeStructure(t, offset, masks, union)
+
+
+class BatchedIrlsSolver:
+    """Weighted least-squares solves for a stack of same-shape designs.
+
+    The batched analogue of :class:`IrlsSolver`: bound to a ``(G, n, p)``
+    stack of designs, each :meth:`solve` forms every member's normal
+    equations at once, factorises the ``(G, p, p)`` stack with one
+    batched Cholesky, and back-substitutes with two batched
+    triangular-system solves.  The normal equations build recognises
+    the capture-history indicator structure of :func:`design_matrix`
+    stacks (see :class:`_LatticeStructure`) and then costs one
+    superset-sum transform of the weights per member; arbitrary designs
+    fall back to two batched gemms.  Members whose factor fails
+    (non-PD) or whose pivot ratio betrays near-singularity are
+    re-solved one at a time through the exact :class:`IrlsSolver` path
+    — ``dposv`` then the ``lstsq`` fallback — so degenerate members
+    cost what they always did and healthy members share the batched
+    flops.
+    """
+
+    __slots__ = ("_X", "_XT", "_lattice")
+
+    def __init__(self, X: np.ndarray, masks=None):
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 3:
+            raise ValueError(
+                f"batched design stack must be (G, n, p), got shape {X.shape}"
+            )
+        self._X = np.ascontiguousarray(X)
+        self._XT: np.ndarray | None = None
+        # ``masks`` asserts the lattice structure (one int bitmask per
+        # design column, per member) and skips the full detection scan.
+        self._lattice = (
+            _lattice_from_masks(self._X, masks)
+            if masks is not None
+            else _detect_lattice(self._X)
+        )
+
+    @property
+    def num_members(self) -> int:
+        return self._X.shape[0]
+
+    @property
+    def design_t(self) -> np.ndarray:
+        """The contiguous ``(G, p, n)`` transposed stack (caller gemvs)."""
+        if self._XT is None:
+            self._XT = np.ascontiguousarray(self._X.transpose(0, 2, 1))
+        return self._XT
+
+    def linear_predictor(
+        self, beta: np.ndarray, members: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-member ``eta_g = X_g beta_g`` for ``(A, p)`` coefficients."""
+        lattice = self._lattice
+        if lattice is None:
+            XT = self.design_t
+            if members is not None:
+                XT = XT[members]
+            return np.matmul(beta[:, None, :], XT)[:, 0, :]
+        masks = lattice.masks if members is None else lattice.masks[members]
+        table = np.zeros((beta.shape[0], 1 << lattice.t))
+        rows = np.arange(beta.shape[0])[:, None] if members is not None else lattice.rowidx
+        if lattice.duplicates:
+            # Accumulate-scatter: a degenerate member may carry duplicate
+            # columns, whose contributions must sum into one mask slot.
+            np.add.at(table, (rows, masks), beta)
+        else:
+            table[rows, masks] = beta
+        _subset_sums(table, lattice.t)
+        return table[:, lattice.offset:]
+
+    def solve(
+        self,
+        weights: np.ndarray,
+        target: np.ndarray,
+        members: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-member ``argmin_b || sqrt(w_g) (X_g b - target_g) ||``.
+
+        ``weights`` and ``target`` are ``(A, n)`` where ``A`` is the
+        number of active members — all of them, or the subset named by
+        ``members`` (integer indices into the stack, e.g. the not-yet
+        converged mask of an IRLS loop).  Returns ``(A, p)``.
+        """
+        p = self._X.shape[2]
+        lattice = self._lattice
+        if lattice is not None:
+            size = 1 << lattice.t
+            table = np.zeros((weights.shape[0], 2, size))
+            table[:, 0, lattice.offset:] = weights
+            table[:, 1, lattice.offset:] = weights * target
+            _superset_sums(table.reshape(-1, size), lattice.t)
+            union = lattice.union if members is None else lattice.union[members]
+            masks = lattice.masks if members is None else lattice.masks[members]
+            normal = np.take_along_axis(table[:, 0, :], union, axis=1)
+            normal = normal.reshape(-1, p, p)
+            rhs = np.take_along_axis(table[:, 1, :], masks, axis=1)
+        else:
+            X = self._X if members is None else self._X[members]
+            XT = self.design_t
+            XT = XT if members is None else XT[members]
+            XwT = XT * weights[:, None, :]
+            normal = XwT @ X
+            rhs = np.matmul(XwT, target[..., None])[..., 0]
+        try:
+            factor = np.linalg.cholesky(normal)
+            pivots = np.diagonal(factor, axis1=1, axis2=2)
+            # NaN pivots compare False, routing poisoned members to the
+            # per-member fallback exactly like the sequential kernel.
+            healthy = pivots.min(axis=1) > _PIVOT_RTOL * pivots.max(axis=1)
+            # The factorisation's job here is the health check; the
+            # solve itself goes through one batched LU of the normal
+            # matrix (numpy has no batched triangular solve — chaining
+            # two ``solve`` calls on the factor would LU-factorise
+            # twice for no accuracy gain on these tiny SPD systems).
+            solution = np.linalg.solve(normal, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            healthy = np.zeros(weights.shape[0], dtype=bool)
+            solution = np.empty((weights.shape[0], p))
+        if not healthy.all():
+            for a in np.nonzero(~healthy)[0]:
+                g = int(a) if members is None else int(members[a])
+                solution[a] = self._solve_one(
+                    self._X[g], normal[a], rhs[a], weights[a], target[a]
+                )
+        return solution
+
+    @staticmethod
+    def _solve_one(X, normal, rhs, weights, target) -> np.ndarray:
+        """Single-member retry: ``dposv`` with the ``lstsq`` fallback."""
+        factor, solution, info = dposv(normal, rhs, lower=1)
+        if info == 0:
+            pivots = factor.diagonal()
+            if pivots.min() > _PIVOT_RTOL * pivots.max():
+                return solution
+        record(cholesky_fallbacks=1)
+        w = np.sqrt(np.maximum(weights, 1e-12))
+        solution, *_ = np.linalg.lstsq(X * w[:, None], target * w, rcond=None)
+        return solution
+
+
+#: One-shot solver reuse: the memoised design matrices handed to
+#: :func:`weighted_least_squares` are read-only and long-lived, so a
+#: small id-keyed cache lets repeated one-shot solves against the same
+#: design skip re-allocating the contiguous transpose copy.  Each cached
+#: solver holds a reference to its design, which pins the id for the
+#: cache's lifetime (no recycled-id aliasing).
+_ONE_SHOT_SOLVERS: dict[int, IrlsSolver] = {}
+_ONE_SHOT_SOLVERS_MAX = 64
+
+
 def weighted_least_squares(
     X: np.ndarray, weights: np.ndarray, target: np.ndarray
 ) -> np.ndarray:
     """One-shot :meth:`IrlsSolver.solve` (see there for semantics)."""
-    return IrlsSolver(np.asarray(X, dtype=np.float64)).solve(
+    X = np.asarray(X, dtype=np.float64)
+    solver = None
+    if X.ndim == 2 and not X.flags.writeable:
+        key = id(X)
+        solver = _ONE_SHOT_SOLVERS.get(key)
+        if solver is None or solver._X is not X:
+            if len(_ONE_SHOT_SOLVERS) >= _ONE_SHOT_SOLVERS_MAX:
+                _ONE_SHOT_SOLVERS.clear()
+            solver = IrlsSolver(X)
+            _ONE_SHOT_SOLVERS[key] = solver
+    if solver is None:
+        solver = IrlsSolver(X)
+    return solver.solve(
         np.asarray(weights, dtype=np.float64),
         np.asarray(target, dtype=np.float64),
     )
+
+
+#: Process-wide batched-fit routing default.  The Executor *always* sets
+#: this from ``PipelineOptions.batch_fits`` (including in pool workers,
+#: which rebuild an Executor from the shipped options), so stepwise
+#: selection and the profile scans pick the batched kernel without the
+#: call sites threading a flag through every layer.  Callers can still
+#: force either path per call via their ``batch=`` parameter.
+_BATCH_FITS = True
+
+
+def set_batch_fits(enabled: bool) -> None:
+    """Set the process-wide batched-fit routing default."""
+    global _BATCH_FITS
+    _BATCH_FITS = bool(enabled)
+
+
+def batch_fits_enabled() -> bool:
+    """The process-wide batched-fit routing default."""
+    return _BATCH_FITS
 
 
 #: Process-wide persistent warm-start store (a
@@ -242,8 +547,19 @@ def get_warm_store():
 
 
 def usable_warm_start(beta0: np.ndarray | None, num_params: int) -> bool:
-    """Whether ``beta0`` can seed a fit with ``num_params`` columns."""
+    """Whether ``beta0`` can seed a fit with ``num_params`` columns.
+
+    Rejects a wrong-length or non-finite vector quietly (callers fall
+    back to the cold initialiser) but raises on a non-1-D array: a
+    ``(1, p)`` row vector is a caller bug that a silent ``False`` would
+    bury as a mysteriously cold fit.
+    """
     if beta0 is None:
         return False
     beta0 = np.asarray(beta0)
+    if beta0.ndim != 1:
+        raise ValueError(
+            "warm-start coefficients must be a 1-D vector, got shape "
+            f"{beta0.shape}; ravel a (1, p) row vector before seeding"
+        )
     return beta0.shape == (num_params,) and bool(np.all(np.isfinite(beta0)))

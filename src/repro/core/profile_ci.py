@@ -20,8 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from repro.core import fitkernel
 from repro.core.design import design_matrix
-from repro.core.glm import fit_poisson
+from repro.core.glm import fit_poisson, fit_poisson_batch
 from repro.core.histories import ContingencyTable
 
 #: The paper's deliberately tiny alpha for wide heuristic ranges.
@@ -79,6 +80,40 @@ class _ProfileLoglik:
         self._cache[unseen] = value
         return value
 
+    def many(self, values) -> list[float]:
+        """Evaluate several ``n_0`` points, batching the uncached fits.
+
+        All members share the profile's design, so the uncached points
+        stack into one :func:`~repro.core.glm.fit_poisson_batch` call —
+        every point warm-started from the last known coefficients.  Each
+        fit converges to its own ML optimum regardless of the seed, so
+        values match one-at-a-time evaluation to float round-off.
+        """
+        values = [max(float(v), 0.0) for v in values]
+        missing: list[float] = []
+        for v in values:
+            if v not in self._cache and v not in missing:
+                missing.append(v)
+        if len(missing) >= 2:
+            counts = np.stack(
+                [np.concatenate([[v], self._observed]) for v in missing]
+            )
+            designs = np.broadcast_to(
+                self._design, (len(missing), *self._design.shape)
+            )
+            beta0 = (
+                None
+                if self._coef is None
+                else [self._coef] * len(missing)
+            )
+            fits = fit_poisson_batch(designs, counts, beta0=beta0)
+            for v, fit in zip(missing, fits):
+                self._cache[v] = fit.loglik
+            self._coef = fits[-1].coef
+        elif missing:
+            self(missing[0])
+        return [self._cache[v] for v in values]
+
 
 def _profile_loglik(
     design_full: np.ndarray, observed_counts: np.ndarray, unseen: float
@@ -93,10 +128,22 @@ def profile_likelihood_interval(
     terms: frozenset,
     alpha: float = DEFAULT_ALPHA,
     max_expand: int = 60,
+    batch: bool | None = None,
 ) -> ProfileInterval:
-    """Profile-likelihood interval for ``N`` under the given model terms."""
+    """Profile-likelihood interval for ``N`` under the given model terms.
+
+    ``batch`` routes the scan through the batched fit kernel: the
+    bracket-expansion pairs, the golden-section seed pair, and the two
+    root bisections (run in lockstep) each become one small
+    :func:`~repro.core.glm.fit_poisson_batch` call instead of separate
+    scalar fits.  ``None`` defers to the process-wide default
+    (:func:`repro.core.fitkernel.set_batch_fits`); both paths follow the
+    identical search trajectory and agree to float round-off.
+    """
     if not 0 < alpha < 1:
         raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if batch is None:
+        batch = fitkernel.batch_fits_enabled()
     design_full, _ = design_matrix(
         table.num_sources, terms, include_unobserved=True
     )
@@ -106,6 +153,7 @@ def profile_likelihood_interval(
     # One memoised, warm-started profile curve shared by the bracket
     # expansion, the golden-section mode search, and both root finders.
     loglik = _ProfileLoglik(design_full, observed)
+    pair = loglik.many if batch else None
 
     # Locate the mode: start from the closed-table fit's point estimate
     # and golden-section around it.
@@ -115,15 +163,28 @@ def profile_likelihood_interval(
     lo, hi = 0.0, max(4.0 * point + 10.0, 10.0)
     # Expand upward until the mode is bracketed.
     for _ in range(max_expand):
-        if loglik(hi) < loglik(0.75 * hi):
+        if pair is not None:
+            f_hi, f_lo = pair([hi, 0.75 * hi])
+        else:
+            f_hi, f_lo = loglik(hi), loglik(0.75 * hi)
+        if f_hi < f_lo:
             break
         hi *= 2.0
-    mode = _golden_max(loglik, lo, hi)
+    mode = _golden_max(loglik, lo, hi, pair=pair)
     ll_max = loglik(mode)
     threshold = ll_max - 0.5 * stats.chi2.ppf(1.0 - alpha, df=1)
 
-    low = _find_root_below(loglik, threshold, mode)
-    high = _find_root_above(loglik, threshold, mode, max_expand)
+    if batch:
+        low, high = _lockstep(
+            [
+                _bisect_below(threshold, mode),
+                _bisect_above(threshold, mode, max_expand),
+            ],
+            loglik.many,
+        )
+    else:
+        low = _find_root_below(loglik, threshold, mode)
+        high = _find_root_above(loglik, threshold, mode, max_expand)
     return ProfileInterval(
         population_low=M + low,
         population_high=M + high,
@@ -134,13 +195,21 @@ def profile_likelihood_interval(
     )
 
 
-def _golden_max(func, lo: float, hi: float, tol: float = 1e-3) -> float:
-    """Golden-section maximisation on [lo, hi]."""
+def _golden_max(func, lo: float, hi: float, tol: float = 1e-3, pair=None) -> float:
+    """Golden-section maximisation on [lo, hi].
+
+    ``pair`` optionally evaluates the two seed points in one call (the
+    batched profile scan); iterations place one new point each, so they
+    stay scalar either way.
+    """
     phi = (np.sqrt(5.0) - 1.0) / 2.0
     a, b = lo, hi
     c = b - phi * (b - a)
     d = a + phi * (b - a)
-    fc, fd = func(c), func(d)
+    if pair is not None:
+        fc, fd = pair([c, d])
+    else:
+        fc, fd = func(c), func(d)
     while b - a > tol * (1.0 + abs(a) + abs(b)):
         if fc >= fd:
             b, d, fd = d, c, fc
@@ -189,3 +258,70 @@ def _find_root_above(func, threshold: float, mode: float, max_expand: int) -> fl
         if hi - lo < max(1e-6, 1e-9 * hi):
             break
     return lo
+
+
+def _bisect_below(threshold: float, mode: float):
+    """Generator twin of :func:`_find_root_below`: yields the next point
+    to evaluate, receives its profile value, returns the root."""
+    if (yield 0.0) >= threshold:
+        return 0.0
+    lo, hi = 0.0, mode
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if (yield mid) < threshold:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < max(1e-6, 1e-9 * mode):
+            break
+    return hi
+
+
+def _bisect_above(threshold: float, mode: float, max_expand: int):
+    """Generator twin of :func:`_find_root_above`."""
+    lo = mode
+    hi = max(2.0 * mode + 10.0, 10.0)
+    for _ in range(max_expand):
+        if (yield hi) < threshold:
+            break
+        lo = hi
+        hi *= 2.0
+    else:
+        return hi
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if (yield mid) >= threshold:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < max(1e-6, 1e-9 * hi):
+            break
+    return lo
+
+
+def _lockstep(searches, evaluate_many) -> list[float]:
+    """Drive several point-request generators in lockstep.
+
+    Each round collects one pending point per live search and evaluates
+    them with a single ``evaluate_many`` call (one batched fit), so the
+    low and high root searches advance together instead of issuing
+    hundreds of scalar fits back to back.  Each generator follows its
+    sequential twin's trajectory exactly.
+    """
+    results: list[float] = [0.0] * len(searches)
+    pending: dict[int, float] = {}
+    for i, gen in enumerate(searches):
+        try:
+            pending[i] = gen.send(None)
+        except StopIteration as stop:
+            results[i] = stop.value
+    while pending:
+        order = list(pending.items())
+        values = evaluate_many([point for _, point in order])
+        pending = {}
+        for (i, _), value in zip(order, values):
+            try:
+                pending[i] = searches[i].send(value)
+            except StopIteration as stop:
+                results[i] = stop.value
+    return results

@@ -18,10 +18,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
+from typing import Callable, Sequence
 import numpy as np
 
 from repro.core import fitkernel
-from repro.core.design import main_effect_terms, map_coefficients
+from repro.core.design import (
+    design_matrix,
+    main_effect_terms,
+    map_coefficients,
+    term_order,
+)
+from repro.core.glm import fit_poisson_batch
 from repro.core.histories import ContingencyTable
 from repro.core.loglinear import FittedLoglinear, LoglinearModel
 
@@ -130,6 +137,77 @@ def _score(fitted: FittedLoglinear, criterion: str) -> CandidateScore:
     )
 
 
+def _resolve_scaled(
+    table: ContingencyTable, divisor: int | str
+) -> tuple[ContingencyTable, int]:
+    """Resolve the divisor and produce the scaled search table."""
+    resolved = resolve_divisor(table, divisor)
+    scaled = table.scaled(resolved)
+    if scaled.num_observed == 0:
+        # All counts rounded away: fall back to the raw table, matching
+        # the paper's note that too large a d breaks the LLM down.
+        scaled = table
+        resolved = 1
+    return scaled, resolved
+
+
+def _finalise(
+    table: ContingencyTable,
+    resolved: int,
+    criterion: str,
+    distribution: str,
+    limit: float | None,
+    path: list[CandidateScore],
+    fetch_scaled: Callable[[frozenset], FittedLoglinear],
+) -> ModelSelection:
+    """Parsimony rule + full-count refit, shared by both search kernels."""
+    # Parsimony rule: simplest visited model m with no n: IC_n < IC_m - 7.
+    best_ic = min(score.ic for score in path)
+    eligible = [score for score in path if score.ic <= best_ic + IC_MARGIN]
+    chosen = min(eligible, key=lambda s: (s.num_params, s.ic))
+
+    # Warm-start the full-count refit from the chosen candidate: counts
+    # were integer-divided by d, so rates (and hence the intercept, on
+    # the log scale) sit about log(d) higher on the unscaled table.
+    beta0 = fetch_scaled(chosen.terms).coef.copy()
+    beta0[0] += float(np.log(resolved))
+    # A persistent warm-start store (installed by an Executor running
+    # against an artifact store) may hold this exact fit's converged
+    # coefficients from an earlier run; an exact digest match seeds the
+    # solver at the answer.  The fit still runs to its own convergence.
+    warm_store = fitkernel.get_warm_store()
+    warm_spec = (
+        dict(
+            num_sources=table.num_sources,
+            terms=chosen.terms,
+            counts=table.counts,
+            distribution=distribution,
+            limit=limit,
+            divisor=resolved,
+        )
+        if warm_store is not None
+        else None
+    )
+    if warm_store is not None:
+        stored = warm_store.lookup(**warm_spec)
+        if fitkernel.usable_warm_start(stored, beta0.shape[0]):
+            beta0 = stored
+            fitkernel.record(warm_store_hits=1)
+    final_model = LoglinearModel(table.num_sources, chosen.terms, validate=False)
+    final_fit = final_model.fit(
+        table, distribution=distribution, limit=limit, beta0=beta0
+    )
+    if warm_store is not None and final_fit.converged:
+        warm_store.store(final_fit.coef, **warm_spec)
+    return ModelSelection(
+        fit=final_fit,
+        divisor=resolved,
+        criterion=criterion,
+        selected_ic=chosen.ic,
+        path=path,
+    )
+
+
 def select_model(
     table: ContingencyTable,
     criterion: str = "bic",
@@ -137,6 +215,7 @@ def select_model(
     max_order: int = 2,
     distribution: str = "poisson",
     limit: float | None = None,
+    batch: bool | None = None,
 ) -> ModelSelection:
     """Stepwise model selection with the paper's heuristics.
 
@@ -153,16 +232,27 @@ def select_model(
     starts from the chosen candidate's coefficients with the intercept
     shifted by ``log(divisor)`` (undoing the count division).  Scores
     and estimates match the cold-start search within float tolerance.
+
+    ``batch`` routes the candidate fits through the batched IRLS kernel
+    (:func:`select_models_batched` with a single table); ``None`` defers
+    to the process-wide default the Executor installs
+    (:func:`repro.core.fitkernel.set_batch_fits`).  Both paths visit the
+    same models and produce the same refit within float round-off.
     """
     if table.num_sources < 2:
         raise ValueError("capture-recapture needs at least two sources")
-    resolved = resolve_divisor(table, divisor)
-    scaled = table.scaled(resolved)
-    if scaled.num_observed == 0:
-        # All counts rounded away: fall back to the raw table, matching
-        # the paper's note that too large a d breaks the LLM down.
-        scaled = table
-        resolved = 1
+    if batch is None:
+        batch = fitkernel.batch_fits_enabled()
+    if batch:
+        return select_models_batched(
+            [table],
+            criterion=criterion,
+            divisor=divisor,
+            max_order=max_order,
+            distributions=distribution,
+            limits=(limit,),
+        )[0]
+    scaled, resolved = _resolve_scaled(table, divisor)
 
     # Candidates are always scored with the plain Poisson likelihood:
     # it is the cheap fit, and the paper notes truncation "otherwise
@@ -208,48 +298,267 @@ def select_model(
         current_fit = fit_scaled(current, None)
         path.append(challenger)
 
-    # Parsimony rule: simplest visited model m with no n: IC_n < IC_m - 7.
-    best_ic = min(score.ic for score in path)
-    eligible = [score for score in path if score.ic <= best_ic + IC_MARGIN]
-    chosen = min(eligible, key=lambda s: (s.num_params, s.ic))
+    return _finalise(
+        table,
+        resolved,
+        criterion,
+        distribution,
+        limit,
+        path,
+        lambda terms: fit_scaled(terms, None),
+    )
 
-    # Warm-start the full-count refit from the chosen candidate: counts
-    # were integer-divided by d, so rates (and hence the intercept, on
-    # the log scale) sit about log(d) higher on the unscaled table.
-    beta0 = fit_scaled(chosen.terms, None).coef.copy()
-    beta0[0] += float(np.log(resolved))
-    # A persistent warm-start store (installed by an Executor running
-    # against an artifact store) may hold this exact fit's converged
-    # coefficients from an earlier run; an exact digest match seeds the
-    # solver at the answer.  The fit still runs to its own convergence.
-    warm_store = fitkernel.get_warm_store()
-    warm_spec = (
-        dict(
-            num_sources=table.num_sources,
-            terms=chosen.terms,
-            counts=table.counts,
-            distribution=distribution,
-            limit=limit,
-            divisor=resolved,
+
+def _term_mask(term: frozenset) -> int:
+    """The history bitmask a term's indicator column flags supersets of."""
+    mask = 0
+    for source in term:
+        mask |= 1 << source
+    return mask
+
+
+@dataclass
+class _BatchJob:
+    """One pending candidate fit inside the batched stepwise search."""
+
+    state: "_SearchState"
+    terms: frozenset
+    design: np.ndarray
+    layout: tuple  # term behind each design column past the intercept
+    beta0: np.ndarray | None
+    masks: tuple  # per-column history bitmasks (intercept first)
+
+
+class _SearchState:
+    """Per-table stepwise bookkeeping for :func:`select_models_batched`."""
+
+    __slots__ = (
+        "table",
+        "scaled",
+        "resolved",
+        "distribution",
+        "limit",
+        "counts",
+        "histories",
+        "columns",
+        "memo",
+        "current",
+        "current_fit",
+        "best",
+        "path",
+        "active",
+        "candidates",
+    )
+
+    def __init__(self, table, scaled, resolved, distribution, limit):
+        self.table = table
+        self.scaled = scaled
+        self.resolved = resolved
+        self.distribution = distribution
+        self.limit = limit
+        self.counts = np.ascontiguousarray(scaled.counts[1:], dtype=np.float64)
+        self.histories = np.arange(1, 2**table.num_sources, dtype=np.uint32)
+        self.columns: dict[frozenset, np.ndarray] = {}
+        self.memo: dict[frozenset, FittedLoglinear] = {}
+        self.path: list[CandidateScore] = []
+        self.active = True
+        self.candidates: list[frozenset] = []
+
+    def column(self, term: frozenset) -> np.ndarray:
+        """The design column of one term (memoised per table)."""
+        col = self.columns.get(term)
+        if col is None:
+            mask = np.ones(self.histories.size, dtype=bool)
+            for source in term:
+                mask &= (
+                    (self.histories >> np.uint32(source)) & np.uint32(1) == 1
+                )
+            col = mask.astype(np.float64)
+            self.columns[term] = col
+        return col
+
+    def fetch(self, terms: frozenset) -> FittedLoglinear:
+        """Memoised fit lookup, with the sequential path's counters."""
+        cached = self.memo[terms]
+        fitkernel.record(memo_hits=1, iterations_saved=cached.iterations)
+        return cached
+
+
+def _canonical_coef(
+    coef: np.ndarray, layout: tuple, terms: frozenset
+) -> np.ndarray:
+    """Permute a fit's coefficients from batch layout to canonical order.
+
+    Batched candidate designs append the new term's column after the
+    parent's columns; the ML likelihood is invariant under column
+    permutation, so only the coefficient vector needs reordering.
+    """
+    ordered = term_order(terms)
+    if list(layout) == ordered:
+        return coef
+    position = {term: i for i, term in enumerate(layout, start=1)}
+    out = np.empty_like(coef)
+    out[0] = coef[0]
+    for i, term in enumerate(ordered, start=1):
+        out[i] = coef[position[term]]
+    return out
+
+
+def _run_batch_jobs(jobs: list[_BatchJob]) -> None:
+    """Fit pending candidates, grouped by design shape, and memoise."""
+    groups: dict[tuple[int, int], list[_BatchJob]] = {}
+    for job in jobs:
+        groups.setdefault(job.design.shape, []).append(job)
+    for group in groups.values():
+        designs = np.stack([job.design for job in group])
+        counts = np.stack([job.state.counts for job in group])
+        seeds = [job.beta0 for job in group]
+        masks = np.array([job.masks for job in group], dtype=np.int64)
+        fits = fit_poisson_batch(designs, counts, beta0=seeds, masks=masks)
+        for job, fit in zip(group, fits):
+            job.state.memo[job.terms] = FittedLoglinear(
+                table=job.state.scaled,
+                terms=job.terms,
+                coef=_canonical_coef(fit.coef, job.layout, job.terms),
+                fitted=fit.fitted,
+                loglik=fit.loglik,
+                distribution="poisson",
+                limit=None,
+                converged=fit.converged,
+                iterations=fit.iterations,
+            )
+
+
+def select_models_batched(
+    tables: Sequence[ContingencyTable],
+    criterion: str = "bic",
+    divisor: int | str = "adaptive1000",
+    max_order: int = 2,
+    distributions: str | Sequence[str] = "poisson",
+    limits: Sequence[float | None] | None = None,
+) -> list[ModelSelection]:
+    """Stepwise selection over several tables with batched candidate fits.
+
+    Runs the same forward search as :func:`select_model` on every table
+    at once, round-synchronised: each round collects every (table,
+    candidate) fit still pending across the whole collection, groups
+    them by design shape, and sends each group through
+    :func:`~repro.core.glm.fit_poisson_batch` — one batched
+    normal-equations build and Cholesky per group per IRLS iteration
+    instead of thousands of scalar ``dposv`` calls.  Candidate designs
+    are assembled by appending the new term's indicator column to the
+    parent's design (no per-candidate ``design_matrix`` build, whose
+    cache thrashes under stepwise churn), and coefficients are permuted
+    back to canonical term order afterwards — the likelihood is
+    invariant under column permutation, so scores are unchanged.
+
+    Tables may have different source counts; mixed shapes simply land
+    in different batch groups.  ``distributions``/``limits`` give the
+    final-refit settings per table (a single string broadcasts).  The
+    final full-count refits run sequentially per table — identical code
+    to the sequential path, each warm-started individually from the
+    persistent fit-memo store when one is installed — so per-table
+    results match :func:`select_model` within float round-off (well
+    inside rtol 1e-8).
+    """
+    tables = list(tables)
+    if not tables:
+        return []
+    if isinstance(distributions, str):
+        distributions = [distributions] * len(tables)
+    distributions = list(distributions)
+    limits = [None] * len(tables) if limits is None else list(limits)
+    if len(distributions) != len(tables) or len(limits) != len(tables):
+        raise ValueError("distributions/limits must match the table count")
+
+    states: list[_SearchState] = []
+    for table, distribution, limit in zip(tables, distributions, limits):
+        if table.num_sources < 2:
+            raise ValueError("capture-recapture needs at least two sources")
+        scaled, resolved = _resolve_scaled(table, divisor)
+        states.append(_SearchState(table, scaled, resolved, distribution, limit))
+
+    # Root fits (the independence model), batched across tables.
+    jobs = []
+    for state in states:
+        state.current = main_effect_terms(state.table.num_sources)
+        design, ordered = design_matrix(state.table.num_sources, state.current)
+        masks = (0,) + tuple(_term_mask(term) for term in ordered)
+        jobs.append(
+            _BatchJob(state, state.current, design, tuple(ordered), None, masks)
         )
-        if warm_store is not None
-        else None
-    )
-    if warm_store is not None:
-        stored = warm_store.lookup(**warm_spec)
-        if fitkernel.usable_warm_start(stored, beta0.shape[0]):
-            beta0 = stored
-            fitkernel.record(warm_store_hits=1)
-    final_model = LoglinearModel(table.num_sources, chosen.terms, validate=False)
-    final_fit = final_model.fit(
-        table, distribution=distribution, limit=limit, beta0=beta0
-    )
-    if warm_store is not None and final_fit.converged:
-        warm_store.store(final_fit.coef, **warm_spec)
-    return ModelSelection(
-        fit=final_fit,
-        divisor=resolved,
-        criterion=criterion,
-        selected_ic=chosen.ic,
-        path=path,
-    )
+    _run_batch_jobs(jobs)
+    for state in states:
+        state.current_fit = state.memo[state.current]
+        state.best = _score(state.current_fit, criterion)
+        state.path.append(state.best)
+
+    live = list(states)
+    while live:
+        jobs = []
+        for state in live:
+            state.candidates = _candidate_terms(
+                state.table.num_sources, state.current, max_order
+            )
+            if not state.candidates:
+                state.active = False
+                continue
+            parent_design, parent_ordered = design_matrix(
+                state.table.num_sources, state.current
+            )
+            layout_head = tuple(parent_ordered)
+            parent_masks = (0,) + tuple(
+                _term_mask(term) for term in parent_ordered
+            )
+            for term in state.candidates:
+                cand_terms = state.current | {term}
+                cached = state.memo.get(cand_terms)
+                if cached is not None:
+                    fitkernel.record(
+                        memo_hits=1, iterations_saved=cached.iterations
+                    )
+                    continue
+                design = np.concatenate(
+                    [parent_design, state.column(term)[:, None]], axis=1
+                )
+                beta0 = np.concatenate([state.current_fit.coef, [0.0]])
+                jobs.append(
+                    _BatchJob(
+                        state,
+                        cand_terms,
+                        design,
+                        layout_head + (term,),
+                        beta0,
+                        parent_masks + (_term_mask(term),),
+                    )
+                )
+        _run_batch_jobs(jobs)
+        for state in live:
+            if not state.active:
+                continue
+            scores = [
+                _score(state.memo[state.current | {term}], criterion)
+                for term in state.candidates
+            ]
+            challenger = min(scores, key=lambda s: s.ic)
+            if challenger.ic >= state.best.ic:
+                state.active = False
+                continue
+            state.best = challenger
+            state.current = challenger.terms
+            state.current_fit = state.fetch(state.current)
+            state.path.append(challenger)
+        live = [state for state in live if state.active]
+
+    return [
+        _finalise(
+            state.table,
+            state.resolved,
+            criterion,
+            state.distribution,
+            state.limit,
+            state.path,
+            state.fetch,
+        )
+        for state in states
+    ]

@@ -36,6 +36,7 @@ order, never completion order.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import time
@@ -390,6 +391,20 @@ class Executor:
         # Always set — including to None: a store-less executor must not
         # inherit the persistent warm-start store of a previous one.
         fitkernel.set_warm_store(getattr(self.cache, "fitmemo", None))
+        # Same contract for the batched-fit routing default: every
+        # Executor (including the ones pool workers rebuild from the
+        # shipped options) installs its own setting, so no run inherits
+        # a stale flag from a previous Executor in the process.
+        fitkernel.set_batch_fits(self.options.batch_fits)
+        # Artifact keys use the options with ``batch_fits`` normalised
+        # away: batching is pure execution strategy (estimates agree
+        # within float round-off), so batched and sequential runs must
+        # address — and share — the same cache entries.
+        self._key_options = (
+            self.options
+            if self.options.batch_fits
+            else dataclasses.replace(self.options, batch_fits=True)
+        )
         self.context = RunContext(self)
         #: Per-stage resolution counter: the task index stage-level
         #: faults key on (counts cache misses, stable under retries).
@@ -415,7 +430,7 @@ class Executor:
         bounds = (window.start, window.end) if window is not None else ()
         return ArtifactKey(
             stage=stage,
-            params=(bounds, tuple(sorted(params.items())), self.options),
+            params=(bounds, tuple(sorted(params.items())), self._key_options),
         )
 
     def run(self, stage: str, window: TimeWindow | None = None, **params: Any) -> Any:
@@ -428,8 +443,16 @@ class Executor:
         """
         spec = STAGES[stage]
         key = self.key_for(stage, window, **params)
+        # Non-cacheable stages (e.g. the fit_batch plan, whose per-level
+        # selections already persist under `fit`) stay in the run's
+        # memory tier: they never land in the persistent store.
+        cache = (
+            self.cache
+            if spec.cacheable
+            else getattr(self.cache, "memory", self.cache)
+        )
         start = perf_counter()
-        value = self.cache.get(key)
+        value = cache.get(key)
         if value is not MISS:
             self.report.record(
                 StageRecord(
@@ -439,7 +462,7 @@ class Executor:
                     cache_hit=True,
                     output_bytes=artifact_nbytes(value),
                     worker=_worker_tag(),
-                    tier=getattr(self.cache, "last_hit_tier", None),
+                    tier=getattr(cache, "last_hit_tier", None),
                 )
             )
             return value
@@ -486,7 +509,7 @@ class Executor:
             for nested in self.report.records[records_before:]:
                 if nested.fit is not None:
                     fit_delta = fit_delta - nested.fit
-            self.cache.put(key, value)
+            cache.put(key, value)
             input_bytes = sum(
                 artifact_nbytes(self.cache.get(self.key_for(dep, window)))
                 for dep in spec.deps
@@ -619,16 +642,20 @@ class Executor:
         store_spec = (
             self.cache.spec() if hasattr(self.cache, "spec") else None
         )
-        payload = pickle.dumps(
+        # Publish the big read-only payload (internet + sources) once
+        # through shared memory; each worker attaches instead of
+        # receiving its own pickled copy through the pool pipe.
+        shipment = publish_payload(
             (self.internet, self.sources, self.options, self.faults,
-             self.observer.enabled, store_spec)
+             self.observer.enabled, store_spec),
+            observer=self.observer,
         )
 
         def make_pool(n: int) -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
                 max_workers=n,
                 initializer=_window_worker_init,
-                initargs=(payload,),
+                initargs=(shipment.spec,),
             )
 
         def submit(pool, index, attempt, window):
@@ -644,16 +671,22 @@ class Executor:
             with self._stage_faults_suppressed():
                 return self.window_result(window), None, None
 
-        outcomes = _resilient_pool_map(
-            pending,
-            stage="window_result",
-            workers=workers,
-            make_pool=make_pool,
-            submit=submit,
-            serial_run=serial_run,
-            policy=self.policy,
-            seed=self.options.seed,
-        )
+        try:
+            outcomes = _resilient_pool_map(
+                pending,
+                stage="window_result",
+                workers=workers,
+                make_pool=make_pool,
+                submit=submit,
+                serial_run=serial_run,
+                policy=self.policy,
+                seed=self.options.seed,
+            )
+        finally:
+            # The segment outlives every pool respawn (killed workers
+            # requeue onto fresh pools that re-attach it) and is
+            # unlinked exactly once, here.
+            shipment.dispose()
         computed: dict[TimeWindow, WindowResult] = {}
         for window, outcome in zip(pending, outcomes):
             key = self.key_for("window_result", window)
@@ -758,6 +791,160 @@ class Executor:
         return result
 
 
+# -- shared-memory payload transport ----------------------------------------
+
+#: Ledger counter names for the pool transport (see publish_payload).
+POOL_PAYLOAD_METRIC = "pool_payload_bytes_total"
+POOL_SHM_METRIC = "pool_shm_bytes_total"
+
+#: Shared-memory segments this process has published and not yet
+#: disposed, by name.  Cleanup tests assert this drains back to empty
+#: after every sweep — including sweeps whose workers were killed.
+_ACTIVE_SEGMENTS: dict[str, Any] = {}
+
+#: Segments this *worker* process has attached: kept referenced so the
+#: mappings (and every array view into them) stay valid for the worker's
+#: lifetime.  The parent owns unlinking.
+_WORKER_SEGMENTS: list = []
+
+
+class _PayloadShipment:
+    """A published worker payload: a tiny picklable spec plus the owned
+    shared-memory segment it points at (``None`` on the fallback path).
+
+    The parent keeps the shipment alive for as long as its pool may
+    spawn workers — segments survive pool respawns after worker kills —
+    and calls :meth:`dispose` exactly once when the fan-out returns.
+    """
+
+    __slots__ = ("spec", "_segment")
+
+    def __init__(self, spec: dict, segment) -> None:
+        self.spec = spec
+        self._segment = segment
+
+    def dispose(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        _ACTIVE_SEGMENTS.pop(segment.name, None)
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _record_payload_metrics(
+    observer: Observer | None, inline_bytes: int, shm_bytes: int
+) -> None:
+    """Count transport bytes on the global registry and the run observer.
+
+    The run ledger (``metrics.json``) is built from the observer's
+    registry, so the counters must land there to be visible in
+    ``repro report``; the global registry keeps a process-wide record
+    reachable from tests and benchmarks.
+    """
+    from repro.obs.metrics import get_global_metrics
+
+    deltas = {}
+    if inline_bytes:
+        deltas[POOL_PAYLOAD_METRIC] = float(inline_bytes)
+    if shm_bytes:
+        deltas[POOL_SHM_METRIC] = float(shm_bytes)
+    if not deltas:
+        return
+    get_global_metrics().inc_many(deltas)
+    if observer is not None:
+        for name, value in deltas.items():
+            observer.inc(name, value)
+
+
+def publish_payload(obj: Any, observer: Observer | None = None) -> _PayloadShipment:
+    """Serialise a worker payload into a shared-memory segment.
+
+    The payload is pickled with protocol 5, diverting every picklable
+    buffer (IPSet membership arrays, population arrays, contingency
+    counts) out of band; pickle bytes and raw buffers land side by side
+    in one ``multiprocessing.shared_memory`` segment published once per
+    fan-out.  Workers then attach and rebuild the payload zero-copy —
+    each array maps the segment read-only instead of receiving a
+    per-worker pickled copy through the pool pipe, so only the
+    few-hundred-byte spec still travels per worker.
+
+    Any failure (no /dev/shm, exotic unpicklable-by-protocol-5 payloads)
+    falls back to shipping the classic inline pickle via the same spec,
+    so callers never branch.  Byte counts are recorded on the
+    ``pool_payload_bytes_total`` (inline pickled bytes) and
+    ``pool_shm_bytes_total`` (bytes published via shared memory)
+    counters either way.
+    """
+    try:
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        buffers: list = []
+        data = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+        raws = [b.raw() for b in buffers]
+        sizes = tuple(int(r.nbytes) for r in raws)
+        total = len(data) + sum(sizes)
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            view = np.frombuffer(segment.buf, dtype=np.uint8)
+            view[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+            offset = len(data)
+            for raw, size in zip(raws, sizes):
+                if size:
+                    view[offset : offset + size] = np.frombuffer(
+                        raw.cast("B"), dtype=np.uint8
+                    )
+                offset += size
+        except Exception:
+            del view  # release the exported buffer before closing
+            segment.close()
+            segment.unlink()
+            raise
+        finally:
+            view = None
+        spec = {"shm": segment.name, "head": len(data), "sizes": sizes}
+        _ACTIVE_SEGMENTS[segment.name] = segment
+        _record_payload_metrics(
+            observer, inline_bytes=len(pickle.dumps(spec)), shm_bytes=total
+        )
+        return _PayloadShipment(spec, segment)
+    except Exception:
+        data = pickle.dumps(obj)
+        _record_payload_metrics(observer, inline_bytes=len(data), shm_bytes=0)
+        return _PayloadShipment({"data": data}, None)
+
+
+def load_payload(spec: dict) -> Any:
+    """Worker-side inverse of :func:`publish_payload`.
+
+    Attaches the named segment and rebuilds the payload with the pickle
+    buffers pointing at read-only slices of the mapping — arrays come
+    back non-writeable, so a worker can never mutate state shared with
+    its siblings.  The segment stays referenced for the process
+    lifetime; the publishing parent owns unlinking.
+    """
+    data = spec.get("data")
+    if data is not None:
+        return pickle.loads(data)
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=spec["shm"])
+    _WORKER_SEGMENTS.append(segment)
+    view = memoryview(segment.buf)
+    head = spec["head"]
+    buffers = []
+    offset = head
+    for size in spec["sizes"]:
+        buffers.append(view[offset : offset + size].toreadonly())
+        offset += size
+    return pickle.loads(view[:head], buffers=buffers)
+
+
 # -- process-pool plumbing --------------------------------------------------
 
 #: Worker-process executor and injector, built once by the initializer.
@@ -765,9 +952,9 @@ _WORKER_EXECUTOR: Executor | None = None
 _WORKER_FAULTS: FaultInjector | None = None
 
 
-def _window_worker_init(payload: bytes) -> None:
+def _window_worker_init(payload: dict) -> None:
     global _WORKER_EXECUTOR, _WORKER_FAULTS
-    internet, sources, options, faults, observe, store_spec = pickle.loads(
+    internet, sources, options, faults, observe, store_spec = load_payload(
         payload
     )
     # The worker executor itself carries no injector: task-level faults
@@ -807,9 +994,9 @@ _TASK_STATE: tuple[
 _TASK_OBSERVER: Observer | None = None
 
 
-def _task_worker_init(blob: bytes) -> None:
+def _task_worker_init(spec: dict) -> None:
     global _TASK_STATE, _TASK_OBSERVER
-    _TASK_STATE = pickle.loads(blob)
+    _TASK_STATE = load_payload(spec)
     _TASK_OBSERVER = Observer() if _TASK_STATE[4] else Observer.disabled()
 
 
@@ -918,13 +1105,16 @@ def fan_out(
                 )
             out.append(value if status != "degraded" else None)
         return out
-    blob = pickle.dumps((payload, func, faults, stage, obs.enabled))
+    shipment = publish_payload(
+        (payload, func, faults, stage, obs.enabled),
+        observer=observer,
+    )
 
     def make_pool(n: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=n,
             initializer=_task_worker_init,
-            initargs=(blob,),
+            initargs=(shipment.spec,),
         )
 
     def submit(pool, index, attempt, item):
@@ -942,16 +1132,19 @@ def fan_out(
         fit_delta = fitkernel.snapshot() - fit_before
         return value, perf_counter() - start, fit_delta or None, None
 
-    outcomes = _resilient_pool_map(
-        items,
-        stage=stage,
-        workers=workers,
-        make_pool=make_pool,
-        submit=submit,
-        serial_run=serial_run,
-        policy=policy,
-        seed=seed,
-    )
+    try:
+        outcomes = _resilient_pool_map(
+            items,
+            stage=stage,
+            workers=workers,
+            make_pool=make_pool,
+            submit=submit,
+            serial_run=serial_run,
+            policy=policy,
+            seed=seed,
+        )
+    finally:
+        shipment.dispose()
     out = []
     for item, outcome in zip(items, outcomes):
         if outcome.status == "degraded":

@@ -24,7 +24,11 @@ from typing import Any, Callable, Mapping, TYPE_CHECKING
 
 from repro.core.histories import ContingencyTable, tabulate_histories
 from repro.core.loglinear import PopulationEstimate
-from repro.core.selection import ModelSelection, select_model
+from repro.core.selection import (
+    ModelSelection,
+    select_model,
+    select_models_batched,
+)
 from repro.filtering.preprocess import preprocess_dataset
 from repro.filtering.spoof_filter import SpoofFilter, detect_empty_blocks
 from repro.integrity.health import (
@@ -70,6 +74,14 @@ class PipelineOptions:
     #: Nested frozen dataclasses digest cleanly into artifact keys, so
     #: runs under different policies never share cache entries.
     quarantine: QuarantinePolicy = QuarantinePolicy()
+    #: Route model fits through the batched IRLS kernel (the ``fit``
+    #: stage plans one ``fit_batch`` per window covering both levels,
+    #: and selection/profile scans group candidate fits into stacked
+    #: solves).  Pure execution strategy: estimates match the
+    #: sequential path within float round-off, so the Executor
+    #: normalises this field out of artifact keys — batched and
+    #: sequential runs share cache entries.
+    batch_fits: bool = True
 
 
 @dataclass
@@ -265,26 +277,77 @@ def _tabulate(
     return tabulate_histories(datasets)
 
 
+#: The granularity levels a window is fitted at, in batch-plan order.
+FIT_LEVELS = ("addresses", "subnets")
+
+
+def _fit_distribution(opts: PipelineOptions, limit: float | None) -> str:
+    if opts.distribution == "auto":
+        return "truncated" if limit is not None else "poisson"
+    return opts.distribution
+
+
 def _fit(
     ctx: RunContext,
     window: TimeWindow,
     level: str = "addresses",
     exclude: tuple[str, ...] = (),
 ) -> ModelSelection:
-    """Model selection and fit on the window's table."""
+    """Model selection and fit on the window's table.
+
+    With ``batch_fits`` on, this delegates to the window's ``fit_batch``
+    artifact — both levels' stepwise searches run as one batched plan,
+    and the second level's fit is a cache hit on the same artifact.
+    """
     opts = ctx.options
+    if opts.batch_fits:
+        batch = ctx.run("fit_batch", window, **_exclude_kw(exclude))
+        return batch[level]
     limit = _level_limit(ctx, window, level)
-    distribution = opts.distribution
-    if distribution == "auto":
-        distribution = "truncated" if limit is not None else "poisson"
     return select_model(
         ctx.run("tabulate", window, level=level, **_exclude_kw(exclude)),
         criterion=opts.criterion,
         divisor=opts.divisor,
         max_order=opts.max_order,
-        distribution=distribution,
+        distribution=_fit_distribution(opts, limit),
         limit=limit,
+        batch=False,
     )
+
+
+def _fit_batch(
+    ctx: RunContext,
+    window: TimeWindow,
+    exclude: tuple[str, ...] = (),
+) -> dict[str, ModelSelection]:
+    """Batched model selection across the window's granularity levels.
+
+    Collects the contingency tables the ``fit`` stage would have fitted
+    one by one (both levels share a window, so their candidate designs
+    share shapes) and runs one round-synchronised batched stepwise
+    search over all of them.  The artifact is a ``level -> selection``
+    mapping, content-addressed like any other stage output; estimates
+    match the sequential per-level fits within float round-off.
+    """
+    opts = ctx.options
+    tables = []
+    distributions = []
+    limits: list[float | None] = []
+    for level in FIT_LEVELS:
+        table = ctx.run("tabulate", window, level=level, **_exclude_kw(exclude))
+        limit = _level_limit(ctx, window, level)
+        tables.append(table)
+        distributions.append(_fit_distribution(opts, limit))
+        limits.append(limit)
+    selections = select_models_batched(
+        tables,
+        criterion=opts.criterion,
+        divisor=opts.divisor,
+        max_order=opts.max_order,
+        distributions=distributions,
+        limits=limits,
+    )
+    return dict(zip(FIT_LEVELS, selections))
 
 
 def _estimate(
@@ -483,8 +546,10 @@ class Stage:
     name: str
     fn: Callable[..., Any]
     deps: tuple[str, ...] = ()
-    #: Whether the artifact is worth keeping across windows (heavy
+    #: Whether the artifact is worth keeping beyond the run (heavy
     #: intermediates are; the cheap composites are too, they are small).
+    #: A non-cacheable stage still memoises within the run's memory
+    #: tier but never lands in the persistent store.
     cacheable: bool = True
     #: Whether a failed execution may be retried under the executor's
     #: :class:`~repro.engine.executor.ExecutionPolicy`.  Stage functions
@@ -502,7 +567,11 @@ STAGES: dict[str, Stage] = {
         Stage("spoof_filter", _spoof_filter, deps=("preprocess",)),
         Stage("source_health", _source_health, deps=("collect", "spoof_filter")),
         Stage("tabulate", _tabulate, deps=("spoof_filter",)),
-        Stage("fit", _fit, deps=("tabulate",)),
+        # The batch plan stays memory-only: its per-level selections are
+        # the `fit` stage's artifacts, which do persist — double-storing
+        # them would let a stale plan mask a deliberately evicted fit.
+        Stage("fit_batch", _fit_batch, deps=("tabulate",), cacheable=False),
+        Stage("fit", _fit, deps=("tabulate", "fit_batch")),
         Stage("estimate", _estimate, deps=("fit",)),
         Stage("window_result", _window_result, deps=("spoof_filter", "estimate")),
     )

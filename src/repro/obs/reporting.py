@@ -171,6 +171,15 @@ def render_run_report(run_dir: str | Path, top: int = 10) -> str:
             f"  fit memo store: {int(memo_hits)} hits, {int(memo_puts)} puts"
         )
 
+    # worker payload transport
+    payload_bytes = counters.get("pool_payload_bytes_total", 0.0)
+    shm_bytes = counters.get("pool_shm_bytes_total", 0.0)
+    if payload_bytes or shm_bytes:
+        lines.append(
+            f"  worker payloads: {int(payload_bytes)} B pickled per pool, "
+            f"{int(shm_bytes)} B via shared memory"
+        )
+
     # fit-kernel counters
     fit = {
         name[len("fit_"):-len("_total")]: value

@@ -203,3 +203,272 @@ class TestCounters:
         assert bool(fitkernel.FitCounters()) is False
         assert bool(b) is True
         assert b.as_dict()["memo_hits"] == 3
+
+
+class TestBatchedSolver:
+    """The batched kernel is a pure reorganisation of the arithmetic:
+    every member must agree with its own sequential fit at rtol 1e-8,
+    degenerate members included."""
+
+    def _lattice_stack(self, num_sources=4, members=3, seed=21):
+        """(G, n, p) stack of real capture-history designs with varied
+        weights/targets per member."""
+        X, _ = design_matrix(num_sources, main_effect_terms(num_sources))
+        return np.repeat(X[None, :, :], members, axis=0)
+
+    def test_lattice_detected_on_design_matrix_stacks(self):
+        stack = self._lattice_stack()
+        solver = fitkernel.BatchedIrlsSolver(stack)
+        assert solver._lattice is not None
+
+    def test_random_stacks_fall_back_to_dense(self):
+        rng = np.random.default_rng(5)
+        stack = rng.normal(size=(3, 15, 4))
+        solver = fitkernel.BatchedIrlsSolver(stack)
+        assert solver._lattice is None
+
+    def test_lattice_and_dense_solves_agree(self):
+        rng = np.random.default_rng(6)
+        stack = self._lattice_stack()
+        G, n, p = stack.shape
+        solver = fitkernel.BatchedIrlsSolver(stack)
+        assert solver._lattice is not None
+        w = rng.uniform(0.5, 3.0, size=(G, n))
+        z = rng.normal(size=(G, n))
+        fast = solver.solve(w, z)
+        for g in range(G):
+            sw = np.sqrt(w[g])
+            slow, *_ = np.linalg.lstsq(
+                stack[g] * sw[:, None], z[g] * sw, rcond=None
+            )
+            np.testing.assert_allclose(fast[g], slow, rtol=1e-8, atol=1e-10)
+
+    def test_linear_predictor_matches_matmul(self):
+        rng = np.random.default_rng(7)
+        stack = self._lattice_stack()
+        G, n, p = stack.shape
+        solver = fitkernel.BatchedIrlsSolver(stack)
+        beta = rng.normal(size=(G, p))
+        eta = solver.linear_predictor(beta)
+        for g in range(G):
+            np.testing.assert_allclose(
+                eta[g], stack[g] @ beta[g], rtol=1e-12, atol=1e-12
+            )
+        members = np.array([2, 0])
+        np.testing.assert_allclose(
+            solver.linear_predictor(beta[members], members), eta[members]
+        )
+
+    def test_trusted_masks_match_detection(self):
+        rng = np.random.default_rng(8)
+        num_sources = 4
+        X, ordered = design_matrix(num_sources, main_effect_terms(num_sources))
+        stack = np.repeat(X[None, :, :], 2, axis=0)
+        masks = np.array(
+            [[0] + [sum(1 << s for s in term) for term in ordered]] * 2,
+            dtype=np.int64,
+        )
+        trusted = fitkernel.BatchedIrlsSolver(stack, masks=masks)
+        detected = fitkernel.BatchedIrlsSolver(stack)
+        w = rng.uniform(0.5, 2.0, size=(2, stack.shape[1]))
+        z = rng.normal(size=(2, stack.shape[1]))
+        np.testing.assert_array_equal(
+            trusted.solve(w, z), detected.solve(w, z)
+        )
+
+    def test_wrong_masks_rejected(self):
+        stack = self._lattice_stack()
+        G, n, p = stack.shape
+        bad = np.zeros((G, p), dtype=np.int64)  # all-intercept: not col p-1
+        with pytest.raises(ValueError):
+            fitkernel.BatchedIrlsSolver(stack, masks=bad)
+        with pytest.raises(ValueError):
+            fitkernel.BatchedIrlsSolver(stack, masks=np.zeros((G, p + 1)))
+
+    def test_degenerate_member_falls_back_per_member(self):
+        rng = np.random.default_rng(9)
+        base = np.column_stack([np.ones(20), rng.normal(size=(20, 3))])
+        broken = base.copy()
+        broken[:, 3] = broken[:, 2]  # exact duplicate column
+        stack = np.stack([base, broken])
+        solver = fitkernel.BatchedIrlsSolver(stack)
+        w = rng.uniform(0.5, 2.0, size=(2, 20))
+        z = rng.normal(size=(2, 20))
+        before = fitkernel.snapshot()
+        out = solver.solve(w, z)
+        delta = fitkernel.snapshot() - before
+        assert delta.cholesky_fallbacks == 1
+        assert np.all(np.isfinite(out))
+        sw = np.sqrt(w[0])
+        healthy, *_ = np.linalg.lstsq(
+            base * sw[:, None], z[0] * sw, rcond=None
+        )
+        np.testing.assert_allclose(out[0], healthy, rtol=1e-8, atol=1e-10)
+
+
+class TestBatchedPoissonFits:
+    def test_stack_matches_sequential_fits(self):
+        from repro.core.glm import fit_poisson_batch
+
+        tables = [_table(num_sources=4, seed=s) for s in (1, 2, 3)]
+        X, _ = design_matrix(4, main_effect_terms(4))
+        stack = np.repeat(X[None, :, :], len(tables), axis=0)
+        counts = np.stack([t.counts[1:].astype(np.float64) for t in tables])
+        batch = fit_poisson_batch(stack, counts)
+        for fit, table in zip(batch, tables):
+            solo = fit_poisson(X, table.counts[1:].astype(np.float64))
+            np.testing.assert_allclose(fit.coef, solo.coef, rtol=1e-8)
+            assert fit.loglik == pytest.approx(solo.loglik, rel=1e-8)
+            assert fit.iterations == solo.iterations
+            assert fit.converged and solo.converged
+
+    def test_warm_started_members_match_sequential(self):
+        from repro.core.glm import fit_poisson_batch
+
+        table = _table(num_sources=4, seed=13)
+        X, _ = design_matrix(4, main_effect_terms(4))
+        y = table.counts[1:].astype(np.float64)
+        optimum = fit_poisson(X, y).coef
+        stack = np.repeat(X[None, :, :], 2, axis=0)
+        counts = np.stack([y, y])
+        batch = fit_poisson_batch(stack, counts, beta0=[optimum, None])
+        solo_warm = fit_poisson(X, y, beta0=optimum)
+        solo_cold = fit_poisson(X, y)
+        np.testing.assert_allclose(batch[0].coef, solo_warm.coef, rtol=1e-8)
+        assert batch[0].iterations == solo_warm.iterations
+        np.testing.assert_allclose(batch[1].coef, solo_cold.coef, rtol=1e-8)
+        assert batch[1].iterations == solo_cold.iterations
+
+
+class TestBatchedSelectionParity:
+    """``select_model`` must choose the same path either way; IC and
+    coefficients agree at rtol 1e-8 (lattice arithmetic reorders the
+    sums, so bitwise equality is not the contract)."""
+
+    def _paths(self, table, **kwargs):
+        fitkernel.set_batch_fits(False)
+        try:
+            seq = select_model(table, **kwargs)
+        finally:
+            fitkernel.set_batch_fits(True)
+        bat = select_model(table, **kwargs)
+        return seq, bat
+
+    def test_select_model_paths_agree(self):
+        table = _table(num_sources=5, seed=17)
+        seq, bat = self._paths(table, max_order=2)
+        assert seq.terms == bat.terms
+        assert [s.terms for s in seq.path] == [s.terms for s in bat.path]
+        for a, b in zip(seq.path, bat.path):
+            assert a.ic == pytest.approx(b.ic, rel=1e-8)
+        np.testing.assert_allclose(seq.fit.coef, bat.fit.coef, rtol=1e-8)
+        pop_seq = seq.fit.estimate().population
+        pop_bat = bat.fit.estimate().population
+        assert pop_bat == pytest.approx(pop_seq, rel=1e-8)
+
+    def test_profile_interval_agrees(self):
+        from repro.core.profile_ci import profile_likelihood_interval
+
+        table = _table(num_sources=4, seed=19)
+        terms = main_effect_terms(4)
+        fitkernel.set_batch_fits(False)
+        try:
+            seq = profile_likelihood_interval(table, terms, alpha=0.05)
+        finally:
+            fitkernel.set_batch_fits(True)
+        bat = profile_likelihood_interval(table, terms, alpha=0.05)
+        for field in ("population_low", "population_high"):
+            assert getattr(bat, field) == pytest.approx(
+                getattr(seq, field), rel=1e-8
+            )
+
+
+class TestWarmStartValidation:
+    def test_row_vector_beta0_raises_with_hint(self):
+        with pytest.raises(ValueError, match="ravel"):
+            fitkernel.usable_warm_start(np.zeros((1, 4)), 4)
+
+    def test_one_d_vectors_still_quietly_screened(self):
+        assert fitkernel.usable_warm_start(np.zeros(4), 4)
+        assert not fitkernel.usable_warm_start(np.zeros(3), 4)
+        assert not fitkernel.usable_warm_start(np.array([np.nan] * 4), 4)
+        assert not fitkernel.usable_warm_start(None, 4)
+
+
+class TestOneShotSolverReuse:
+    def test_memoised_design_reuses_solver(self):
+        X, _ = design_matrix(4, main_effect_terms(4))  # read-only, cached
+        rng = np.random.default_rng(23)
+        w = rng.uniform(0.5, 2.0, size=X.shape[0])
+        z = rng.normal(size=X.shape[0])
+        fitkernel.weighted_least_squares(X, w, z)
+        solver = fitkernel._ONE_SHOT_SOLVERS.get(id(X))
+        assert solver is not None and solver._X is X
+        fitkernel.weighted_least_squares(X, w, z)
+        assert fitkernel._ONE_SHOT_SOLVERS.get(id(X)) is solver
+
+    def test_writable_designs_are_not_cached(self):
+        rng = np.random.default_rng(24)
+        X = np.column_stack([np.ones(30), rng.normal(size=(30, 3))])
+        w = rng.uniform(0.5, 2.0, size=30)
+        z = rng.normal(size=30)
+        before = dict(fitkernel._ONE_SHOT_SOLVERS)
+        fitkernel.weighted_least_squares(X, w, z)
+        assert fitkernel._ONE_SHOT_SOLVERS == before
+
+
+class TestBatchedEquivalenceProperty:
+    """Property: for *any* group of same-shape Poisson designs — sizes,
+    warm starts, and rank-deficient members drawn at random — the
+    batched kernel reproduces each member's sequential fit."""
+
+    def test_random_design_groups_match_sequential(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.core.glm import fit_poisson_batch
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(0, 2**32 - 1),
+            members=st.integers(1, 4),
+            n=st.integers(8, 32),
+            p=st.integers(2, 5),
+            degenerate=st.booleans(),
+            warm=st.booleans(),
+        )
+        def check(seed, members, n, p, degenerate, warm):
+            rng = np.random.default_rng(seed)
+            stack = np.empty((members, n, p))
+            counts = np.empty((members, n))
+            for g in range(members):
+                X = np.column_stack(
+                    [np.ones(n), rng.normal(scale=0.8, size=(n, p - 1))]
+                )
+                if degenerate and g == members - 1 and p >= 3:
+                    X[:, p - 1] = X[:, p - 2]  # force the per-member path
+                mu = np.exp(
+                    np.clip(X @ rng.normal(scale=0.3, size=p), -4.0, 4.0)
+                )
+                stack[g] = X
+                counts[g] = rng.poisson(mu * 5.0)
+            beta0 = None
+            if warm:
+                beta0 = [
+                    rng.normal(scale=0.1, size=p) if g % 2 == 0 else None
+                    for g in range(members)
+                ]
+            batch = fit_poisson_batch(stack, counts, beta0=beta0)
+            for g, fit in enumerate(batch):
+                solo = fit_poisson(
+                    stack[g],
+                    counts[g],
+                    beta0=None if beta0 is None else beta0[g],
+                )
+                assert fit.converged == solo.converged
+                assert fit.iterations == solo.iterations
+                np.testing.assert_allclose(
+                    fit.coef, solo.coef, rtol=1e-8, atol=1e-10
+                )
+                assert fit.loglik == pytest.approx(solo.loglik, rel=1e-8)
+
+        check()

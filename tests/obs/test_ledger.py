@@ -188,6 +188,15 @@ class TestRendering:
         assert "slowest spans" in text
         assert "seed    : 7" in text
 
+    def test_worker_payload_line_renders(self, tmp_path):
+        obs = Observer()
+        obs.inc("pool_payload_bytes_total", 152.0)
+        obs.inc("pool_shm_bytes_total", 3_200_000.0)
+        RunLedger(tmp_path / "run").finalize(obs)
+        text = render_run_report(tmp_path / "run")
+        assert "worker payloads: 152 B pickled per pool" in text
+        assert "3200000 B via shared memory" in text
+
     def test_renders_missing_directory_gracefully(self, tmp_path):
         text = render_run_report(tmp_path / "nothing")
         assert text.startswith("run ledger:")
