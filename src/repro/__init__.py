@@ -73,6 +73,14 @@ from repro.analysis import (
     TimeWindow,
     standard_windows,
 )
+from repro.service import (
+    CampaignScheduler,
+    CampaignSpec,
+    CampaignStatus,
+    InProcessBackend,
+    QueryLedger,
+    SchedulerBackend,
+)
 from repro.simnet import SimulationConfig, SyntheticInternet
 from repro.sources import build_standard_sources
 
@@ -125,6 +133,13 @@ __all__ = [
     "get_global_metrics",
     "render_run_diff",
     "render_run_report",
+    # campaign service
+    "CampaignScheduler",
+    "CampaignSpec",
+    "CampaignStatus",
+    "InProcessBackend",
+    "QueryLedger",
+    "SchedulerBackend",
     # pipeline / simulator
     "EstimationPipeline",
     "PipelineOptions",

@@ -9,6 +9,11 @@ The main entry points:
   series plus per-stage instrumentation.
 * ``crossval``  — leave-one-source-out validation for a window.
 * ``supply``    — the Table 6 runout forecast.
+* ``campaign``  — estimation-as-a-service: ``submit`` a campaign
+  (windows x sensitivity grid) into a service directory, poll
+  ``status``, fetch ``results``.
+* ``query``     — answer totals/growth/window queries from a completed
+  campaign's query ledger at interactive latency, without any refits.
 
 All commands share ``--scale-log2`` (size of the simulated Internet as
 a power of two; -12 is 1/4096 of the real one) and ``--seed``.
@@ -103,6 +108,23 @@ def _parse_window(text: str) -> TimeWindow:
         ) from exc
 
 
+def _parse_workers(text: str) -> int:
+    """Worker-pool width; ``0`` is rejected up front (an empty pool
+    would otherwise just sit there instead of computing anything)."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be an integer >= 1, got {text!r}"
+        ) from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 1, got {value} "
+            "(0 workers would mean an empty pool and no progress)"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -158,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "rtol 1e-8 and cache artifacts are shared)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared parent for every command that fans work out: one canonical
+    # ``--workers`` definition (help text included) instead of a copy
+    # per subcommand, and widths below 1 are rejected at parse time.
+    workers_parent = argparse.ArgumentParser(add_help=False)
+    workers_parent.add_argument(
+        "--workers", type=_parse_workers, default=1,
+        help="worker-pool width for the parallel fan-out (>= 1; "
+        "results are bit-identical whatever the width)")
+
     sub.add_parser("simulate", help="build the synthetic Internet and "
                    "print its vitals")
 
@@ -168,10 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     windows = sub.add_parser(
         "windows",
+        parents=[workers_parent],
         help="sweep the 11 standard windows through the staged engine",
     )
-    windows.add_argument("--workers", type=int, default=1,
-                         help="process-pool width for the window fan-out")
     windows.add_argument("--report", action="store_true",
                          help="print the per-stage instrumentation table, "
                          "including fit-kernel counters (fits, warm-start "
@@ -185,22 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--window", type=_parse_window,
                         default=TimeWindow(2013.5, 2014.5))
 
-    crossval = sub.add_parser("crossval", help="leave-one-source-out "
-                              "cross-validation")
+    crossval = sub.add_parser("crossval", parents=[workers_parent],
+                              help="leave-one-source-out cross-validation")
     crossval.add_argument("--window", type=_parse_window,
                           default=TimeWindow(2013.5, 2014.5))
-    crossval.add_argument("--workers", type=int, default=1,
-                          help="process-pool width for the fold fan-out")
 
     sub.add_parser("supply", help="Table 6 supply runout forecast")
 
     sensitivity = sub.add_parser(
-        "sensitivity", help="leave-one-source-out estimate leverage"
+        "sensitivity", parents=[workers_parent],
+        help="leave-one-source-out estimate leverage",
     )
     sensitivity.add_argument("--window", type=_parse_window,
                              default=TimeWindow(2013.5, 2014.5))
-    sensitivity.add_argument("--workers", type=int, default=1,
-                             help="process-pool width for the drop fan-out")
 
     churn = sub.add_parser(
         "churn", help="the Section 4.6 dynamic-address session experiment"
@@ -262,6 +289,63 @@ def build_parser() -> argparse.ArgumentParser:
     store_verify.add_argument("path", help="store directory (as in --store)")
     store_verify.add_argument("--delete", action="store_true",
                               help="unlink entries that fail verification")
+
+    # Shared parent for the campaign-service commands: every verb needs
+    # the service directory holding per-campaign state + query ledgers.
+    service_parent = argparse.ArgumentParser(add_help=False)
+    service_parent.add_argument(
+        "--service", metavar="DIR", default="campaigns",
+        help="service directory holding campaign state and query "
+        "ledgers (default: campaigns)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="estimation campaigns: submit once, poll status, fetch "
+        "results (see also 'repro query')",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    submit = campaign_sub.add_parser(
+        "submit", parents=[workers_parent, service_parent],
+        help="submit a campaign (windows x sensitivity grid) and run "
+        "it to completion on the in-process backend",
+    )
+    submit.add_argument("--window", action="append", type=_parse_window,
+                        default=None, metavar="START:END",
+                        help="campaign window, repeatable (default: the "
+                        "11 standard windows)")
+    submit.add_argument("--drop", action="append", default=[],
+                        metavar="SOURCE",
+                        help="sensitivity axis: also re-estimate every "
+                        "window with SOURCE removed (repeatable)")
+
+    campaign_status = campaign_sub.add_parser(
+        "status", parents=[service_parent],
+        help="per-task pending/running/done/degraded accounting",
+    )
+    campaign_status.add_argument("campaign_id")
+
+    campaign_results = campaign_sub.add_parser(
+        "results", parents=[service_parent],
+        help="the completed campaign's window sweep and sensitivity grid",
+    )
+    campaign_results.add_argument("campaign_id")
+
+    query = sub.add_parser(
+        "query", parents=[service_parent],
+        help="answer repeated queries (totals, growth, windows, "
+        "sensitivity) from a campaign's query ledger — no refits",
+    )
+    query.add_argument("campaign_id", nargs="?", default=None,
+                       help="campaign to query (default: the most "
+                       "recently touched campaign in the service dir)")
+    query.add_argument("--what", default="totals",
+                       choices=("totals", "growth", "windows",
+                                "sensitivity"),
+                       help="which precomputed answer to serve "
+                       "(default: totals)")
     return parser
 
 
@@ -472,6 +556,42 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_table(series, scale: float, title: str) -> None:
+    """The windows growth table — shared by ``windows`` and campaign
+    ``results`` so a campaign renders byte-identically to the direct
+    sweep it equals."""
+    rows = [
+        [label, f"{r:.0f}", f"{o:.0f}", f"{e:.0f}", f"{t:.0f}",
+         f"{to_real(e, scale) / 1e6:.0f}"]
+        for label, r, o, e, t in zip(
+            series.labels, series.routed, series.observed,
+            series.estimated, series.truth,
+        )
+    ]
+    print(format_table(
+        ["window", "routed", "observed", "estimated", "truth",
+         "real-equiv est[M]"],
+        rows,
+        title=title,
+    ))
+
+
+def _print_growth_rate(series) -> None:
+    if len(series.labels) >= 2:
+        print(f"\nestimated growth/yr: "
+              f"{series.growth_per_year('estimated'):.0f} addresses "
+              f"(observed {series.growth_per_year('observed'):.0f})")
+
+
+def _degraded_refit_line(label: str, quarantined, dropped) -> str:
+    parts = []
+    if quarantined:
+        parts.append("quarantined " + ",".join(quarantined))
+    if dropped:
+        parts.append("dropped " + ",".join(dropped))
+    return f"window {label}: refit degraded ({'; '.join(parts)})"
+
+
 def cmd_windows(args: argparse.Namespace) -> int:
     """Sweep all standard windows through the engine and print them."""
     from repro.analysis.growth import series_from_results
@@ -487,40 +607,21 @@ def cmd_windows(args: argparse.Namespace) -> int:
         return 1
     series = series_from_results(results)
     scale = pipeline.internet.config.scale
-    rows = [
-        [label, f"{r:.0f}", f"{o:.0f}", f"{e:.0f}", f"{t:.0f}",
-         f"{to_real(e, scale) / 1e6:.0f}"]
-        for label, r, o, e, t in zip(
-            series.labels, series.routed, series.observed,
-            series.estimated, series.truth,
-        )
-    ]
-    print(format_table(
-        ["window", "routed", "observed", "estimated", "truth",
-         "real-equiv est[M]"],
-        rows,
+    _print_sweep_table(
+        series, scale,
         title=f"standard window sweep ({args.workers} worker(s))",
-    ))
+    )
     for window in missing_windows(windows, results):
         print(f"window {window.label()}: degraded, no estimate")
     for result in results:
         if result.is_degraded:
-            parts = []
-            if result.excluded_sources:
-                parts.append(
-                    "quarantined " + ",".join(result.excluded_sources)
-                )
-            if result.health is not None and result.health.dropped:
-                parts.append(
-                    "dropped "
-                    + ",".join(n for n, _ in result.health.dropped)
-                )
-            print(f"window {result.window.label()}: refit degraded "
-                  f"({'; '.join(parts)})")
-    if len(results) >= 2:
-        print(f"\nestimated growth/yr: "
-              f"{series.growth_per_year('estimated'):.0f} addresses "
-              f"(observed {series.growth_per_year('observed'):.0f})")
+            print(_degraded_refit_line(
+                result.window.label(),
+                result.excluded_sources,
+                [n for n, _ in result.health.dropped]
+                if result.health is not None else [],
+            ))
+    _print_growth_rate(series)
     _print_fault_summary(pipeline)
     if args.report:
         print()
@@ -709,6 +810,179 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0 if summary["corrupt"] == 0 else 1
 
 
+def _scheduler(args: argparse.Namespace):
+    """A read-side scheduler over the service directory (no simulator)."""
+    from repro.service.scheduler import CampaignScheduler
+
+    return CampaignScheduler(args.service)
+
+
+def _print_campaign_status(status) -> None:
+    print(status.summary())
+    for state in ("pending", "running", "done", "degraded"):
+        print(f"  {state:<9} {status.counts.get(state, 0)}")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Dispatch the campaign service verbs (submit/status/results)."""
+    if args.campaign_command == "submit":
+        return _cmd_campaign_submit(args)
+    from repro.service.queryledger import LEDGER_FILENAME
+
+    scheduler = _scheduler(args)
+    try:
+        status = scheduler.status(args.campaign_id)
+    except FileNotFoundError:
+        print(f"no campaign {args.campaign_id} under {args.service}",
+              file=sys.stderr)
+        return 2
+    if args.campaign_command == "status":
+        _print_campaign_status(status)
+        return 0
+    # results
+    if not status.finished:
+        print(f"campaign {args.campaign_id} is {status.state}; results "
+              "are published at completion", file=sys.stderr)
+        return 1
+    ledger = scheduler.ledger(args.campaign_id)
+    spec = ledger.spec()
+    scale = 2.0 ** spec.scale_log2
+    series = ledger.growth_series()
+    _print_sweep_table(
+        series, scale, title=f"campaign {args.campaign_id} window sweep"
+    )
+    for row in ledger.missing():
+        if row.get("kind", "window") == "window":
+            print(f"window {row['label']}: degraded, no estimate")
+    for row in ledger.windows():
+        if row["degraded"]:
+            print(_degraded_refit_line(
+                row["label"], row["excluded_sources"], row["dropped_sources"]
+            ))
+    _print_growth_rate(series)
+    sensitivity = ledger.sensitivity()
+    if sensitivity:
+        print()
+        print(format_table(
+            ["window", "dropped source", "estimate without"],
+            [[r["label"], r["source"], f"{r['estimate_without']:.0f}"]
+             for r in sensitivity],
+            title="sensitivity grid",
+        ))
+    ledger_path = scheduler.campaign_dir(args.campaign_id) / LEDGER_FILENAME
+    print(f"\nquery ledger: {ledger_path} "
+          f"(serve with: python -m repro query {args.campaign_id} "
+          f"--service {args.service})")
+    return 0
+
+
+def _cmd_campaign_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign and drain it on the in-process backend."""
+    from repro.analysis.windows import standard_windows
+    from repro.service.campaign import CampaignSpec
+    from repro.service.scheduler import CampaignScheduler
+
+    pipeline = _pipeline(args)
+    executor = pipeline.engine
+    windows = args.window if args.window else standard_windows()
+    spec = CampaignSpec(
+        windows=tuple((w.start, w.end) for w in windows),
+        scale_log2=args.scale_log2,
+        seed=args.seed,
+        options=executor.options,
+        drop_sources=tuple(args.drop),
+    )
+    scheduler = CampaignScheduler(
+        args.service,
+        observer=executor.observer,
+        faults=executor.faults,
+        retries=args.retries,
+    )
+    campaign_id = scheduler.submit(spec)
+    status = scheduler.status(campaign_id)
+    if status.finished:
+        print(f"campaign {campaign_id} already complete; "
+              "status and results served from the existing ledger")
+    else:
+        status = scheduler.run(
+            campaign_id, workers=args.workers, executor=executor
+        )
+    _print_campaign_status(status)
+    print(f"\nresults: python -m repro campaign results {campaign_id} "
+          f"--service {args.service}")
+    return 0 if status.finished else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Serve a precomputed answer from a campaign's query ledger."""
+    from repro.core import fitkernel
+
+    scheduler = _scheduler(args)
+    campaign_id = args.campaign_id
+    if campaign_id is None:
+        known = scheduler.campaigns()
+        if not known:
+            print(f"no campaigns under {args.service}", file=sys.stderr)
+            return 2
+        campaign_id = known[0]
+    try:
+        ledger = scheduler.ledger(campaign_id)
+    except FileNotFoundError:
+        print(f"campaign {campaign_id} has no query ledger yet "
+              f"(still running, or unknown under {args.service})",
+              file=sys.stderr)
+        return 2
+    spec = ledger.spec()
+    scale = 2.0 ** spec.scale_log2
+    if args.what == "totals":
+        totals = ledger.totals()
+        rows = [
+            ["routed", f"{totals['routed_addresses']:.0f}"],
+            ["observed", f"{totals['observed_addresses']:.0f}"],
+            ["estimated", f"{totals['estimated_addresses']:.0f}"],
+            ["estimated /24s", f"{totals['estimated_subnets']:.0f}"],
+            ["truth", f"{totals['truth_addresses']:.0f}"],
+            ["real-equiv est[M]",
+             f"{to_real(totals['estimated_addresses'], scale) / 1e6:.0f}"],
+        ]
+        print(format_table(
+            ["quantity", "addresses"], rows,
+            title=f"totals, window {totals['window']} "
+            f"(campaign {campaign_id})",
+        ))
+    elif args.what == "growth":
+        growth = ledger.growth()
+        rows = [
+            [name, f"{value:.0f}",
+             f"{to_real(value, scale) / 1e6:.1f}"]
+            for name, value in growth.items()
+        ]
+        print(format_table(
+            ["series", "growth/yr", "real-equiv[M/yr]"], rows,
+            title=f"growth rates (campaign {campaign_id})",
+        ))
+    elif args.what == "windows":
+        series = ledger.growth_series()
+        _print_sweep_table(
+            series, scale, title=f"campaign {campaign_id} window sweep"
+        )
+    else:  # sensitivity
+        rows = ledger.sensitivity()
+        if not rows:
+            print("campaign requested no sensitivity grid", file=sys.stderr)
+            return 1
+        print(format_table(
+            ["window", "dropped source", "estimate without"],
+            [[r["label"], r["source"], f"{r['estimate_without']:.0f}"]
+             for r in rows],
+            title=f"sensitivity grid (campaign {campaign_id})",
+        ))
+    fits = fitkernel.snapshot().fits
+    print(f"\nserved from query ledger {ledger.path} "
+          f"({fits:.0f} GLM fits this process)")
+    return 0
+
+
 COMMANDS = {
     "simulate": cmd_simulate,
     "estimate": cmd_estimate,
@@ -721,6 +995,8 @@ COMMANDS = {
     "estimate-files": cmd_estimate_files,
     "report": cmd_report,
     "store": cmd_store,
+    "campaign": cmd_campaign,
+    "query": cmd_query,
 }
 
 

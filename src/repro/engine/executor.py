@@ -603,6 +603,11 @@ class Executor:
         """
         from repro.analysis.windows import standard_windows
 
+        if workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {workers} "
+                "(an empty pool would make no progress)"
+            )
         windows = list(windows) if windows is not None else standard_windows()
         with self.observer.span(
             "sweep:windows", windows=len(windows), workers=workers
@@ -1052,6 +1057,11 @@ def fan_out(
     ``degraded`` record — callers recompute their aggregate from the
     surviving tasks.
     """
+    if workers < 1:
+        raise ValueError(
+            f"workers must be >= 1, got {workers} "
+            "(an empty pool would make no progress)"
+        )
     policy = policy or ExecutionPolicy()
     obs = observer if observer is not None else Observer.disabled()
     items = list(items)

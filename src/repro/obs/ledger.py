@@ -50,7 +50,12 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def _git_revision() -> str | None:
+def git_revision() -> str | None:
+    """The repository HEAD this process runs from, if resolvable.
+
+    Public because every provenance-bearing artifact (run ledgers,
+    campaign query ledgers) stamps it; ``None`` outside a checkout.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -128,7 +133,7 @@ class RunLedger:
             "seed": seed,
             "options": _jsonable(options) if options is not None else None,
             "policy": _jsonable(policy) if policy is not None else None,
-            "git_revision": _git_revision(),
+            "git_revision": git_revision(),
             "python": sys.version.split()[0],
             "started_at": self.started_at,
         }

@@ -1,0 +1,50 @@
+"""Estimation-as-a-service: campaign scheduling over pluggable backends.
+
+The service layer turns the library-call-only engine into a submit /
+poll / fetch service:
+
+* :class:`~repro.service.campaign.CampaignSpec` declares a campaign
+  (windows x levels x sensitivity grid x quarantine policy) and
+  content-addresses it;
+* :class:`~repro.service.scheduler.CampaignScheduler` decomposes it
+  into tasks, drains them through a
+  :class:`~repro.service.backend.SchedulerBackend` (in-process pool
+  today; the lease/ack/fail contract admits a queue + worker fleet)
+  and persists per-campaign state under a service directory;
+* :class:`~repro.service.queryledger.QueryLedger` serves the repeated
+  queries — totals, growth curves, per-window and sensitivity
+  estimates — from the completed campaign's precomputed answers,
+  without ever touching IRLS.
+
+CLI: ``repro campaign submit|status|results`` and ``repro query``.
+"""
+
+from repro.service.backend import InProcessBackend, Lease, SchedulerBackend
+from repro.service.campaign import (
+    CampaignSpec,
+    CampaignStatus,
+    CampaignTask,
+    decompose,
+)
+from repro.service.queryledger import QueryLedger, build_ledger, entry_key
+from repro.service.scheduler import (
+    CampaignScheduler,
+    default_executor_factory,
+    execute_task,
+)
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignSpec",
+    "CampaignStatus",
+    "CampaignTask",
+    "InProcessBackend",
+    "Lease",
+    "QueryLedger",
+    "SchedulerBackend",
+    "build_ledger",
+    "decompose",
+    "default_executor_factory",
+    "entry_key",
+    "execute_task",
+]

@@ -1,0 +1,281 @@
+"""Scheduler backends: the queue contract campaigns run against.
+
+The :class:`SchedulerBackend` interface is deliberately small — four
+verbs plus a sweep — so a networked queue (Redis stream, SQS, a
+worker-fleet dispatcher) can slot in behind the same scheduler:
+
+* :meth:`~SchedulerBackend.enqueue` — make a task runnable;
+* :meth:`~SchedulerBackend.lease` — hand one runnable task to a
+  worker under a heartbeat deadline;
+* :meth:`~SchedulerBackend.ack` — commit a leased task's result
+  (idempotent: stale or duplicate acks are refused, never re-applied);
+* :meth:`~SchedulerBackend.fail` — charge a failed attempt and either
+  requeue the task or, once its retry budget is spent, degrade it;
+* :meth:`~SchedulerBackend.requeue_expired` — reclaim leases whose
+  heartbeat lapsed (the worker died or hung), as ``fail`` would.
+
+Retry semantics mirror :class:`repro.engine.executor.ExecutionPolicy`:
+``retries`` bounds *extra* attempts after the first, a lease lost to a
+heartbeat expiry is charged like any other failed attempt, and a task
+that exhausts its budget is recorded ``degraded`` with its last error
+rather than poisoning the campaign.
+
+:class:`InProcessBackend` is the reference implementation — a
+thread-safe in-memory queue the default scheduler drains with worker
+threads.  Its observable behaviour (FIFO order, at-most-one active
+lease per task, idempotent acks, attempt accounting) is the contract a
+distributed backend must reproduce; see ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's exclusive, heartbeat-bounded hold on a task."""
+
+    task_id: str
+    #: Opaque fencing token: acks/heartbeats with a stale token are
+    #: refused, so a worker that lost its lease cannot clobber a retry.
+    token: int
+    worker: str
+    #: Monotonic-clock deadline after which the lease may be reclaimed
+    #: (``None`` = no heartbeat requirement).
+    deadline: float | None
+    payload: Any
+
+
+class SchedulerBackend(abc.ABC):
+    """Queue semantics the campaign scheduler runs against."""
+
+    @abc.abstractmethod
+    def enqueue(self, task_id: str, payload: Any) -> None:
+        """Add a runnable task (idempotent per ``task_id``)."""
+
+    @abc.abstractmethod
+    def lease(self, worker: str) -> Lease | None:
+        """Hand the oldest runnable task to ``worker``, or ``None``."""
+
+    @abc.abstractmethod
+    def heartbeat(self, lease: Lease) -> bool:
+        """Extend a live lease's deadline; ``False`` if it was lost."""
+
+    @abc.abstractmethod
+    def ack(self, lease: Lease, result: Any) -> bool:
+        """Commit a result. ``False`` (and no state change) for a
+        stale token or an already-settled task — double-acks are safe."""
+
+    @abc.abstractmethod
+    def fail(self, lease: Lease, error: str) -> str:
+        """Charge a failed attempt; returns ``"requeued"``,
+        ``"degraded"``, or ``"stale"`` when the lease was already lost."""
+
+    @abc.abstractmethod
+    def requeue_expired(self) -> list[str]:
+        """Reclaim leases past their deadline; returns the task ids."""
+
+    @abc.abstractmethod
+    def counts(self) -> dict[str, int]:
+        """Task counts keyed by pending/running/done/degraded."""
+
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True once every task is settled (done or degraded)."""
+
+    @abc.abstractmethod
+    def result(self, task_id: str) -> Any:
+        """The committed result of a ``done`` task."""
+
+    @abc.abstractmethod
+    def error(self, task_id: str) -> str | None:
+        """The last recorded error of a task, if any."""
+
+    @abc.abstractmethod
+    def attempts(self, task_id: str) -> int:
+        """How many attempts the task has consumed so far."""
+
+
+class _TaskEntry:
+    """Mutable backend-side state of one task."""
+
+    __slots__ = (
+        "payload", "state", "attempts", "token", "worker",
+        "deadline", "result", "error",
+    )
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+        self.state = "pending"
+        self.attempts = 0
+        self.token: int | None = None
+        self.worker: str | None = None
+        self.deadline: float | None = None
+        self.result: Any = None
+        self.error: str | None = None
+
+
+class InProcessBackend(SchedulerBackend):
+    """Thread-safe in-memory reference backend.
+
+    ``retries`` bounds extra attempts per task (ExecutionPolicy
+    convention); ``heartbeat_timeout`` is the lease deadline in seconds
+    (``None`` disables expiry — suitable when the scheduler and workers
+    share a process and crashes surface as exceptions instead).
+    ``clock`` is injectable for deterministic expiry tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        retries: int = 1,
+        heartbeat_timeout: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.heartbeat_timeout = heartbeat_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._queue: deque[str] = deque()
+        self._tasks: dict[str, _TaskEntry] = {}
+        self._tokens = itertools.count(1)
+
+    # -- contract ----------------------------------------------------------
+
+    def enqueue(self, task_id: str, payload: Any) -> None:
+        with self._lock:
+            if task_id in self._tasks:
+                return
+            self._tasks[task_id] = _TaskEntry(payload)
+            self._queue.append(task_id)
+
+    def lease(self, worker: str) -> Lease | None:
+        with self._lock:
+            while self._queue:
+                task_id = self._queue.popleft()
+                entry = self._tasks[task_id]
+                if entry.state != "pending":
+                    continue  # settled while queued (stale requeue)
+                entry.state = "running"
+                entry.attempts += 1
+                entry.token = next(self._tokens)
+                entry.worker = worker
+                entry.deadline = (
+                    self._clock() + self.heartbeat_timeout
+                    if self.heartbeat_timeout is not None
+                    else None
+                )
+                return Lease(
+                    task_id=task_id,
+                    token=entry.token,
+                    worker=worker,
+                    deadline=entry.deadline,
+                    payload=entry.payload,
+                )
+            return None
+
+    def heartbeat(self, lease: Lease) -> bool:
+        with self._lock:
+            entry = self._tasks.get(lease.task_id)
+            if entry is None or entry.token != lease.token:
+                return False
+            if entry.state != "running":
+                return False
+            if self.heartbeat_timeout is not None:
+                entry.deadline = self._clock() + self.heartbeat_timeout
+            return True
+
+    def ack(self, lease: Lease, result: Any) -> bool:
+        with self._lock:
+            entry = self._tasks.get(lease.task_id)
+            if entry is None or entry.state != "running":
+                return False
+            if entry.token != lease.token:
+                return False
+            entry.state = "done"
+            entry.result = result
+            entry.token = None
+            entry.worker = None
+            entry.deadline = None
+            return True
+
+    def fail(self, lease: Lease, error: str) -> str:
+        with self._lock:
+            entry = self._tasks.get(lease.task_id)
+            if entry is None or entry.state != "running":
+                return "stale"
+            if entry.token != lease.token:
+                return "stale"
+            return self._settle_failure(lease.task_id, entry, error)
+
+    def requeue_expired(self) -> list[str]:
+        now = self._clock()
+        reclaimed: list[str] = []
+        with self._lock:
+            for task_id, entry in self._tasks.items():
+                if (
+                    entry.state == "running"
+                    and entry.deadline is not None
+                    and entry.deadline < now
+                ):
+                    self._settle_failure(
+                        task_id, entry,
+                        f"heartbeat expired (worker {entry.worker})",
+                    )
+                    reclaimed.append(task_id)
+        return reclaimed
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out = {"pending": 0, "running": 0, "done": 0, "degraded": 0}
+            for entry in self._tasks.values():
+                out[entry.state] += 1
+            return out
+
+    def done(self) -> bool:
+        with self._lock:
+            return all(
+                entry.state in ("done", "degraded")
+                for entry in self._tasks.values()
+            )
+
+    def result(self, task_id: str) -> Any:
+        with self._lock:
+            return self._tasks[task_id].result
+
+    def error(self, task_id: str) -> str | None:
+        with self._lock:
+            return self._tasks[task_id].error
+
+    def attempts(self, task_id: str) -> int:
+        with self._lock:
+            return self._tasks[task_id].attempts
+
+    # -- internals ---------------------------------------------------------
+
+    def _settle_failure(
+        self, task_id: str, entry: _TaskEntry, error: str
+    ) -> str:
+        """Charge one failed attempt (caller holds the lock)."""
+        entry.error = error
+        entry.token = None
+        entry.worker = None
+        entry.deadline = None
+        # ``attempts`` was charged at lease time: attempt N failing
+        # leaves room for a retry while N <= retries (first attempt +
+        # ``retries`` extras, matching ExecutionPolicy).
+        if entry.attempts <= self.retries:
+            entry.state = "pending"
+            self._queue.append(task_id)
+            return "requeued"
+        entry.state = "degraded"
+        return "degraded"

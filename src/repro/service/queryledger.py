@@ -1,0 +1,221 @@
+"""Query ledgers: precomputed campaign answers, served without IRLS.
+
+A completed campaign is distilled into one JSON document — the *query
+ledger* — holding everything the repeated-query workloads ask for:
+
+* per-window entries (routed/observed/estimated/truth at both
+  granularity levels, exclusions, degradation), keyed by the canonical
+  digest of ``(options, window bounds, exclusions)`` so a reader can
+  address an answer content-wise, exactly like the artifact store
+  addresses the fit that produced it;
+* the growth series (the paper's Figure 4/5 arrays) plus the
+  least-squares growth rates;
+* the sensitivity grid (estimate with each dropped source), when the
+  campaign requested one;
+* provenance (campaign id, spec, seed, git revision, python, wall
+  time) so a served answer is auditable back to its run.
+
+:class:`QueryLedger` is the read side: loading it touches JSON only —
+no simulator, no tabulation, no GLM fit — which is what makes
+``repro query`` interactive-latency and lets the CI smoke job assert a
+zero fit-counter delta on repeated queries.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro._canonical import canonical_digest
+from repro.obs.ledger import git_revision
+from repro.service.campaign import CampaignSpec
+
+#: Bump when the ledger document layout changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: File name of the ledger inside a campaign directory.
+LEDGER_FILENAME = "ledger.json"
+
+
+def entry_key(
+    options: Any, bounds: Sequence[float], exclude: Sequence[str] = ()
+) -> str:
+    """Canonical content key of one ledger entry (``q`` + 16 hex)."""
+    digest = canonical_digest(
+        (
+            LEDGER_SCHEMA_VERSION,
+            options,
+            (float(bounds[0]), float(bounds[1])),
+            tuple(exclude),
+        )
+    )
+    return "q" + digest[:16]
+
+
+def build_ledger(
+    spec: CampaignSpec,
+    campaign_id: str,
+    window_rows: Sequence[Mapping[str, Any]],
+    sensitivity_rows: Sequence[Mapping[str, Any]] = (),
+    missing: Sequence[Mapping[str, Any]] = (),
+    *,
+    wall_seconds: float | None = None,
+) -> dict[str, Any]:
+    """Assemble the ledger document from a campaign's task results.
+
+    ``window_rows`` are the serialised per-window bundles in report
+    order (degraded windows absent, listed in ``missing`` instead);
+    ``sensitivity_rows`` the per-(window, dropped-source) estimates.
+    """
+    entries: dict[str, Any] = {}
+    order: list[str] = []
+    for row in window_rows:
+        key = entry_key(spec.options, (row["start"], row["end"]))
+        entries[key] = dict(row)
+        order.append(key)
+    sens = []
+    for row in sensitivity_rows:
+        key = entry_key(
+            spec.options, (row["start"], row["end"]), (row["source"],)
+        )
+        sens.append(dict(row, key=key))
+    series = {
+        "labels": [row["label"] for row in window_rows],
+        "window_ends": [row["end"] for row in window_rows],
+        "routed": [float(row["routed_addresses"]) for row in window_rows],
+        "observed": [float(row["observed_addresses"]) for row in window_rows],
+        "estimated": [row["estimated_addresses"] for row in window_rows],
+        "truth": [float(row["truth_addresses"]) for row in window_rows],
+    }
+    return {
+        "schema": LEDGER_SCHEMA_VERSION,
+        "campaign_id": campaign_id,
+        "spec": spec.to_json(),
+        "provenance": {
+            "git_revision": git_revision(),
+            "python": sys.version.split()[0],
+            "created_at": time.time(),
+            "wall_seconds": wall_seconds,
+            "seed": spec.seed,
+            "scale_log2": spec.scale_log2,
+        },
+        "windows": entries,
+        "order": order,
+        "missing": [dict(m) for m in missing],
+        "series": series,
+        "sensitivity": sens,
+    }
+
+
+class QueryLedger:
+    """Read-side view over one persisted ledger document."""
+
+    def __init__(self, document: Mapping[str, Any], path: Path | None = None):
+        schema = document.get("schema")
+        if schema != LEDGER_SCHEMA_VERSION:
+            raise ValueError(
+                f"query ledger schema {schema} unsupported "
+                f"(this build reads {LEDGER_SCHEMA_VERSION})"
+            )
+        self.document = document
+        self.path = path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QueryLedger":
+        path = Path(path)
+        if path.is_dir():
+            path = path / LEDGER_FILENAME
+        return cls(json.loads(path.read_text()), path=path)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def campaign_id(self) -> str:
+        return self.document["campaign_id"]
+
+    @property
+    def provenance(self) -> Mapping[str, Any]:
+        return self.document["provenance"]
+
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec.from_json(self.document["spec"])
+
+    # -- queries (all pure JSON reads, no fits) ----------------------------
+
+    def windows(self) -> list[dict[str, Any]]:
+        """Per-window entries in report order."""
+        doc = self.document
+        return [dict(doc["windows"][key]) for key in doc["order"]]
+
+    def window(
+        self, bounds: Sequence[float], exclude: Sequence[str] = ()
+    ) -> dict[str, Any] | None:
+        """One window's entry, addressed by canonical content key."""
+        key = entry_key(self.spec().options, bounds, exclude)
+        entry = self.document["windows"].get(key)
+        return dict(entry) if entry is not None else None
+
+    def totals(self) -> dict[str, Any]:
+        """The latest window's headline numbers (the 90% query)."""
+        rows = self.windows()
+        if not rows:
+            raise ValueError("ledger holds no completed windows")
+        last = rows[-1]
+        return {
+            "window": last["label"],
+            "start": last["start"],
+            "end": last["end"],
+            "routed_addresses": last["routed_addresses"],
+            "observed_addresses": last["observed_addresses"],
+            "estimated_addresses": last["estimated_addresses"],
+            "estimated_subnets": last["estimated_subnets"],
+            "truth_addresses": last["truth_addresses"],
+        }
+
+    def growth_series(self):
+        """The ledger's series as a :class:`~repro.analysis.growth.GrowthSeries`.
+
+        Floats round-trip JSON exactly (``repr`` encoding), so tables
+        and growth rates rendered from the ledger are byte-identical to
+        ones rendered from the live sweep results.
+        """
+        from repro.analysis.growth import GrowthSeries
+
+        series = self.document["series"]
+        return GrowthSeries(
+            window_ends=np.array(series["window_ends"], dtype=np.float64),
+            labels=tuple(series["labels"]),
+            routed=np.array(series["routed"], dtype=np.float64),
+            observed=np.array(series["observed"], dtype=np.float64),
+            estimated=np.array(series["estimated"], dtype=np.float64),
+            truth=np.array(series["truth"], dtype=np.float64),
+        )
+
+    def growth(self) -> dict[str, float]:
+        """Least-squares growth per year of each series."""
+        series = self.growth_series()
+        return {
+            name: series.growth_per_year(name)
+            for name in ("routed", "observed", "estimated", "truth")
+        }
+
+    def sensitivity(self) -> list[dict[str, Any]]:
+        """The (window, dropped source) grid, in decomposition order."""
+        return [dict(row) for row in self.document["sensitivity"]]
+
+    def missing(self) -> list[dict[str, Any]]:
+        """Windows the campaign degraded on (no entry served)."""
+        return [dict(m) for m in self.document.get("missing", ())]
+
+
+def write_ledger(document: Mapping[str, Any], directory: str | Path) -> Path:
+    """Persist a ledger document into a campaign directory."""
+    path = Path(directory) / LEDGER_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,182 @@
+"""The backend contract: lease/ack/fail/heartbeat under fault pressure.
+
+These are the semantics a distributed queue backend must reproduce, so
+they are pinned against the reference :class:`InProcessBackend`:
+FIFO dispatch, at-most-one active lease per task, fencing-token
+idempotency, attempt accounting that mirrors ``ExecutionPolicy``
+(first attempt + ``retries`` extras), and heartbeat-expiry reclaim.
+"""
+
+import pytest
+
+from repro.service.backend import InProcessBackend
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic expiry tests."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def filled(backend: InProcessBackend, n: int = 3) -> list[str]:
+    ids = [f"t{i}" for i in range(n)]
+    for task_id in ids:
+        backend.enqueue(task_id, {"payload": task_id})
+    return ids
+
+
+class TestLeaseAndAck:
+    def test_fifo_dispatch(self):
+        backend = InProcessBackend()
+        ids = filled(backend)
+        leased = [backend.lease("w0").task_id for _ in ids]
+        assert leased == ids
+        assert backend.lease("w0") is None
+
+    def test_enqueue_is_idempotent(self):
+        backend = InProcessBackend()
+        backend.enqueue("t0", 1)
+        backend.enqueue("t0", 2)
+        lease = backend.lease("w0")
+        assert lease.payload == 1
+        assert backend.lease("w0") is None
+
+    def test_ack_commits_result(self):
+        backend = InProcessBackend()
+        filled(backend, 1)
+        lease = backend.lease("w0")
+        assert backend.ack(lease, {"answer": 42})
+        assert backend.done()
+        assert backend.result("t0") == {"answer": 42}
+        assert backend.counts()["done"] == 1
+
+    def test_double_ack_is_idempotent(self):
+        backend = InProcessBackend()
+        filled(backend, 1)
+        lease = backend.lease("w0")
+        assert backend.ack(lease, "first")
+        assert not backend.ack(lease, "second")
+        assert backend.result("t0") == "first"
+
+    def test_attempts_charged_at_lease_time(self):
+        backend = InProcessBackend()
+        filled(backend, 1)
+        assert backend.attempts("t0") == 0
+        backend.lease("w0")
+        assert backend.attempts("t0") == 1
+
+
+class TestRetryBudget:
+    def test_failed_task_requeued_exactly_once_per_retry(self):
+        backend = InProcessBackend(retries=1)
+        filled(backend, 1)
+        lease = backend.lease("w0")
+        assert backend.fail(lease, "boom") == "requeued"
+        assert backend.counts()["pending"] == 1
+        retry = backend.lease("w1")
+        assert retry.task_id == "t0"
+        assert retry.token != lease.token
+        assert backend.fail(retry, "boom again") == "degraded"
+        assert backend.counts()["degraded"] == 1
+        assert backend.attempts("t0") == 2
+        assert backend.error("t0") == "boom again"
+        assert backend.done()
+
+    def test_zero_retries_degrades_on_first_failure(self):
+        backend = InProcessBackend(retries=0)
+        filled(backend, 1)
+        assert backend.fail(backend.lease("w0"), "boom") == "degraded"
+
+    def test_retry_after_failure_can_still_succeed(self):
+        backend = InProcessBackend(retries=2)
+        filled(backend, 1)
+        backend.fail(backend.lease("w0"), "flake")
+        assert backend.ack(backend.lease("w0"), "recovered")
+        assert backend.result("t0") == "recovered"
+        assert backend.error("t0") == "flake"  # blame is preserved
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            InProcessBackend(retries=-1)
+
+
+class TestFencingTokens:
+    def test_stale_ack_after_requeue_refused(self):
+        backend = InProcessBackend(retries=1)
+        filled(backend, 1)
+        stale = backend.lease("w0")
+        backend.fail(stale, "boom")
+        fresh = backend.lease("w1")
+        # The dead worker's ack must not clobber the live retry.
+        assert not backend.ack(stale, "zombie result")
+        assert backend.ack(fresh, "live result")
+        assert backend.result("t0") == "live result"
+
+    def test_stale_fail_reported_stale(self):
+        backend = InProcessBackend(retries=1)
+        filled(backend, 1)
+        stale = backend.lease("w0")
+        backend.fail(stale, "boom")
+        backend.lease("w1")
+        assert backend.fail(stale, "late boom") == "stale"
+
+
+class TestHeartbeat:
+    def test_heartbeat_extends_deadline(self):
+        clock = FakeClock()
+        backend = InProcessBackend(heartbeat_timeout=10.0, clock=clock)
+        filled(backend, 1)
+        lease = backend.lease("w0")
+        assert lease.deadline == pytest.approx(clock.now + 10.0)
+        clock.advance(8.0)
+        assert backend.heartbeat(lease)
+        clock.advance(8.0)  # past the original deadline, not the renewed
+        assert backend.requeue_expired() == []
+        assert backend.counts()["running"] == 1
+
+    def test_expired_lease_requeued(self):
+        clock = FakeClock()
+        backend = InProcessBackend(
+            retries=1, heartbeat_timeout=5.0, clock=clock
+        )
+        filled(backend, 1)
+        lease = backend.lease("w0")
+        clock.advance(6.0)
+        assert backend.requeue_expired() == ["t0"]
+        assert backend.counts()["pending"] == 1
+        assert "heartbeat expired" in backend.error("t0")
+        # The dead worker's lease is fenced out.
+        assert not backend.heartbeat(lease)
+        assert not backend.ack(lease, "zombie")
+
+    def test_expiry_consumes_retry_budget(self):
+        clock = FakeClock()
+        backend = InProcessBackend(
+            retries=1, heartbeat_timeout=5.0, clock=clock
+        )
+        filled(backend, 1)
+        backend.lease("w0")
+        clock.advance(6.0)
+        assert backend.requeue_expired() == ["t0"]
+        backend.lease("w1")
+        clock.advance(6.0)
+        assert backend.requeue_expired() == ["t0"]
+        assert backend.counts()["degraded"] == 1
+        assert backend.done()
+
+    def test_no_timeout_means_no_expiry(self):
+        clock = FakeClock()
+        backend = InProcessBackend(heartbeat_timeout=None, clock=clock)
+        filled(backend, 1)
+        lease = backend.lease("w0")
+        assert lease.deadline is None
+        clock.advance(1e6)
+        assert backend.requeue_expired() == []
+        assert backend.heartbeat(lease)

@@ -45,6 +45,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["store"])
 
+    def test_workers_zero_is_a_parse_error(self, capsys):
+        for argv in (["windows", "--workers", "0"],
+                     ["crossval", "--workers", "0"],
+                     ["sensitivity", "--workers", "-2"],
+                     ["campaign", "submit", "--workers", "0"]):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(argv)
+            assert excinfo.value.code == 2
+            assert "must be >= 1" in capsys.readouterr().err
+
+    def test_workers_help_not_duplicated(self, capsys):
+        # One canonical --workers definition via the shared parent
+        # parser: each command's help shows the flag exactly once in
+        # the usage line and once in the options list, never more.
+        for command in ("windows", "crossval", "sensitivity",
+                        ("campaign", "submit")):
+            argv = [command] if isinstance(command, str) else list(command)
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv + ["--help"])
+            help_text = capsys.readouterr().out
+            assert help_text.count("--workers") == 2, command
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_query_what_choices(self):
+        args = build_parser().parse_args(["query", "--what", "growth"])
+        assert args.what == "growth" and args.campaign_id is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--what", "everything"])
+
 
 class TestCommands:
     """Each command runs end to end on a very small Internet."""
@@ -147,6 +179,79 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "run ledger" not in out
         assert "metrics written" not in out
+
+
+class TestCampaignCli:
+    """The service verbs end to end on a very small Internet."""
+
+    ARGS = ["--scale-log2", "-14", "--seed", "3"]
+
+    def submit(self, tmp_path, capsys):
+        service = str(tmp_path / "campaigns")
+        assert main(self.ARGS + [
+            "campaign", "submit", "--service", service,
+            "--window", "2013.0:2014.0", "--window", "2013.5:2014.5",
+            "--drop", "SWIN",
+        ]) == 0
+        out = capsys.readouterr().out
+        campaign_id = out.split("campaign ", 1)[1].split(":", 1)[0]
+        return service, campaign_id, out
+
+    def test_submit_runs_to_completion(self, capsys, tmp_path):
+        _, campaign_id, out = self.submit(tmp_path, capsys)
+        assert campaign_id.startswith("c") and len(campaign_id) == 17
+        assert "completed" in out
+        assert "4 done" in out
+
+    def test_status_results_and_query(self, capsys, tmp_path):
+        from repro.core import fitkernel
+
+        service, campaign_id, _ = self.submit(tmp_path, capsys)
+        assert main(["campaign", "status", campaign_id,
+                     "--service", service]) == 0
+        assert "completed" in capsys.readouterr().out
+        assert main(["campaign", "results", campaign_id,
+                     "--service", service]) == 0
+        results = capsys.readouterr().out
+        assert "window sweep" in results
+        assert "Jun 2014" in results
+        assert "sensitivity grid" in results
+        # Every query kind answers from the ledger: zero fit delta.
+        before = fitkernel.snapshot().fits
+        for what in ("totals", "growth", "windows", "sensitivity"):
+            assert main(["query", campaign_id, "--what", what,
+                         "--service", service]) == 0
+            out = capsys.readouterr().out
+            assert "served from query ledger" in out
+        assert fitkernel.snapshot().fits == before
+
+    def test_query_defaults_to_latest_campaign(self, capsys, tmp_path):
+        service, campaign_id, _ = self.submit(tmp_path, capsys)
+        assert main(["query", "--service", service]) == 0
+        out = capsys.readouterr().out
+        assert campaign_id in out
+        assert "totals" in out
+
+    def test_resubmission_served_from_ledger(self, capsys, tmp_path):
+        from repro.core import fitkernel
+
+        service, _, _ = self.submit(tmp_path, capsys)
+        before = fitkernel.snapshot().fits
+        assert main(self.ARGS + [
+            "campaign", "submit", "--service", service,
+            "--window", "2013.0:2014.0", "--window", "2013.5:2014.5",
+            "--drop", "SWIN",
+        ]) == 0
+        assert "already complete" in capsys.readouterr().out
+        assert fitkernel.snapshot().fits == before
+
+    def test_unknown_campaign_exits_2(self, capsys, tmp_path):
+        service = str(tmp_path / "campaigns")
+        assert main(["campaign", "status", "c0000000000000000",
+                     "--service", service]) == 2
+        assert "no campaign" in capsys.readouterr().err
+        assert main(["query", "--service", service]) == 2
+        assert "no campaigns" in capsys.readouterr().err
 
 
 class TestArtifactStoreCli:

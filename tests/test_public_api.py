@@ -38,12 +38,13 @@ class TestStarImport:
         import repro.engine
         import repro.ipspace
         import repro.obs
+        import repro.service
         import repro.simnet
         import repro.sources
 
         for pkg in (
             repro.analysis, repro.core, repro.engine, repro.ipspace,
-            repro.obs, repro.simnet, repro.sources,
+            repro.obs, repro.service, repro.simnet, repro.sources,
         ):
             assert pkg.__all__, pkg.__name__
             for name in pkg.__all__:
