@@ -3,12 +3,14 @@
 
 Compares a candidate ``pytest-benchmark`` JSON export against the
 committed baselines (``BENCH_perf_core.json`` overridden by the newer
-``BENCH_perf_fit.json`` where both cover a benchmark) and fails when
-any benchmark's median slows down by more than the threshold.
+``BENCH_perf_fit.json`` / ``BENCH_perf_stream.json`` where several
+cover a benchmark) and fails when any benchmark's median slows down by
+more than the threshold.
 
 CI usage (the ``perf-baseline`` job)::
 
-    pytest benchmarks/bench_perf_core.py --benchmark-json=candidate.json
+    pytest benchmarks/bench_perf_core.py benchmarks/bench_perf_stream.py \
+        --benchmark-json=candidate.json
     python benchmarks/check_regression.py candidate.json
 
 Thresholds are generous (default +30% on the median) because shared CI
@@ -36,7 +38,11 @@ HERE = Path(__file__).resolve().parent
 
 #: Committed baselines, oldest first: later files override earlier
 #: ones per benchmark name, so the newest committed numbers win.
-BASELINE_FILES = ("BENCH_perf_core.json", "BENCH_perf_fit.json")
+BASELINE_FILES = (
+    "BENCH_perf_core.json",
+    "BENCH_perf_fit.json",
+    "BENCH_perf_stream.json",
+)
 
 #: Allowed slowdown of the median before the gate fails.
 DEFAULT_THRESHOLD = 0.30
@@ -46,7 +52,10 @@ DEFAULT_THRESHOLD = 0.30
 #: force regenerating every baseline); these are load-bearing evidence
 #: — the batched sweep median proves the batched kernel still pays on
 #: the full staged path — so a candidate that silently drops one fails.
-REQUIRED_BENCHMARKS = ("test_perf_sweep_batched",)
+REQUIRED_BENCHMARKS = (
+    "test_perf_sweep_batched",
+    "test_perf_stream_warm_advance",
+)
 
 #: Committed metrics export of the reference observability sweep.
 #: Schema 2 nests a cold and a warm (second run against a shared

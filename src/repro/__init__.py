@@ -8,17 +8,27 @@ substrate they run on, a synthetic-Internet measurement simulator
 standing in for the paper's proprietary datasets, the spoofed-address
 filter, and the growth / unused-space / supply analyses.
 
-Quick start::
+Quick start — :class:`Session` is the unified entry point::
 
-    from repro import CaptureRecapture, IPSet
+    from repro import Session, IPSet
 
     sources = {"ping": IPSet([...]), "weblog": IPSet([...]),
                "netflow": IPSet([...])}
-    estimate = CaptureRecapture(sources).estimate()
+    estimate = Session.from_sets(sources).estimate()
     print(estimate.population, estimate.unseen)
 
-For the full pipeline over the simulator, see
-:class:`repro.analysis.EstimationPipeline` and ``examples/``.
+    # the full simulator pipeline (one window, or the paper's sweep)
+    session = Session.from_simulation(scale_log2=-12)
+    result = session.estimate()          # latest window's WindowResult
+    results = session.sweep(workers=4)   # the Figure 4/5 series
+
+    # streaming: tail an observation-delta journal
+    stream = Session.from_journal("journal/").stream()
+    stream.advance()                     # ingest + close coverable windows
+
+The pre-``Session`` constructors (``CaptureRecapture``,
+``EstimationPipeline``) keep working but emit a
+:class:`DeprecationWarning`; see ``docs/API.md`` and ``examples/``.
 """
 
 from repro.core import (
@@ -78,11 +88,21 @@ from repro.service import (
     CampaignSpec,
     CampaignStatus,
     InProcessBackend,
+    LedgerSchemaError,
     QueryLedger,
     SchedulerBackend,
 )
+from repro.session import Session
 from repro.simnet import SimulationConfig, SyntheticInternet
 from repro.sources import build_standard_sources
+from repro.stream import (
+    DeltaJournal,
+    IncrementalTabulator,
+    JournalSource,
+    ObservationDelta,
+    StreamEstimator,
+    journal_from_sources,
+)
 
 __version__ = "1.0.0"
 
@@ -138,11 +158,20 @@ __all__ = [
     "CampaignSpec",
     "CampaignStatus",
     "InProcessBackend",
+    "LedgerSchemaError",
     "QueryLedger",
     "SchedulerBackend",
-    # pipeline / simulator
+    # streaming
+    "DeltaJournal",
+    "IncrementalTabulator",
+    "JournalSource",
+    "ObservationDelta",
+    "StreamEstimator",
+    "journal_from_sources",
+    # pipeline / simulator / session
     "EstimationPipeline",
     "PipelineOptions",
+    "Session",
     "SimulationConfig",
     "SyntheticInternet",
     "TimeWindow",

@@ -10,6 +10,7 @@ pass both spellings at once.
 
 from __future__ import annotations
 
+import sys
 import warnings
 from typing import Any, Mapping
 
@@ -43,3 +44,28 @@ def resolve_deprecated_aliases(
         )
         resolved[canonical] = value
     return resolved
+
+
+def warn_legacy_entry_point(name: str, replacement: str) -> None:
+    """Deprecation-warn direct use of a pre-``Session`` entry point.
+
+    Called from the legacy constructors (``CaptureRecapture``,
+    ``EstimationPipeline``).  Only *external* callers are warned: the
+    library's own modules — including :class:`repro.Session`, which
+    wraps these classes — construct them as implementation detail, so a
+    caller whose module lives under ``repro.`` stays silent.  The old
+    constructors keep working unchanged; the warning just points new
+    code at the unified facade.
+    """
+    try:
+        module = sys._getframe(2).f_globals.get("__name__", "")
+    except ValueError:  # shallow stack (embedded interpreters)
+        module = ""
+    if module == "repro" or module.startswith("repro."):
+        return
+    warnings.warn(
+        f"constructing {name} directly is deprecated; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping
 
+from repro._aliases import warn_legacy_entry_point
 from repro.core.estimator import CaptureRecapture, EstimatorOptions
 from repro.core.stratified import StratifiedEstimate
 from repro.engine.executor import Executor
@@ -56,6 +57,9 @@ class EstimationPipeline:
         engine: Executor | None = None,
         observer: "Observer | None" = None,
     ) -> None:
+        warn_legacy_entry_point(
+            "EstimationPipeline", "repro.Session.from_simulation"
+        )
         self.engine = engine or Executor(
             internet, sources, options, observer=observer
         )

@@ -14,6 +14,16 @@ The main entry points:
   ``status``, fetch ``results``.
 * ``query``     — answer totals/growth/window queries from a completed
   campaign's query ledger at interactive latency, without any refits.
+* ``stream``    — incremental estimation over an observation-delta
+  journal: ``ingest`` the tail (or ``--simulate`` a journal from the
+  standard sources), ``advance`` to close every coverable window
+  through warm-started refits, ``snapshot`` the stream state into the
+  artifact store so a restart resumes from the tail.
+
+The pipeline knobs — ``--inject-faults``, ``--quarantine-policy``,
+``--store``, ``--trace``/``--metrics-out`` — are accepted both before
+the subcommand and after it (every estimating subcommand carries the
+identical set via shared parent parsers).
 
 All commands share ``--scale-log2`` (size of the simulated Internet as
 a power of two; -12 is 1/4096 of the real one) and ``--seed``.
@@ -42,6 +52,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import warnings
 from typing import Sequence
 
 from repro.analysis.crossval import cross_validate_window
@@ -62,7 +73,10 @@ from repro.integrity import POLICY_PRESETS, QuarantinePolicy
 from repro.obs.ledger import RunLedger, absorb_engine_accounting
 from repro.obs.observer import Observer
 from repro.obs.reporting import render_run_diff, render_run_report
+from repro.service import LedgerSchemaError
 from repro.simnet.internet import SimulationConfig, SyntheticInternet
+from repro.sources.base import TIME_HORIZON
+from repro.stream import DeltaJournal, StreamEstimator, journal_from_sources
 
 
 #: Size-suffix multipliers for ``--max-bytes`` (binary, case-insensitive).
@@ -123,6 +137,89 @@ def _parse_workers(text: str) -> int:
             "(0 workers would mean an empty pool and no progress)"
         )
     return value
+
+
+class _DeprecatedSpelling(argparse.Action):
+    """A hidden legacy flag spelling: parses, warns, stores to the
+    canonical dest so downstream code never sees the old name."""
+
+    def __init__(self, *args, preferred: str, append: bool = False, **kwargs):
+        self._preferred = preferred
+        self._append = append
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self._preferred}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._append:
+            items = list(getattr(namespace, self.dest, None) or [])
+            items.append(values)
+            setattr(namespace, self.dest, items)
+        else:
+            setattr(namespace, self.dest, values)
+
+
+def _pipeline_parents() -> list[argparse.ArgumentParser]:
+    """Shared parents carrying the pipeline knobs into every estimating
+    subcommand (one canonical definition each, like ``workers_parent``).
+
+    Defaults are ``SUPPRESS`` so a flag given *before* the subcommand —
+    where the main parser defines the same option with its real default
+    — is not clobbered by the subparser's parse.  Each knob also keeps
+    its pre-normalization spelling as a hidden deprecated alias.
+    """
+    faults = argparse.ArgumentParser(add_help=False)
+    faults.add_argument(
+        "--inject-faults", action="append", default=argparse.SUPPRESS,
+        metavar="SPEC", type=parse_fault,
+        help="deterministic fault injection, repeatable "
+        "(stage:kind[:index[:count[:seconds]]] or "
+        "source:NAME:kind[:amount[:start]])")
+    faults.add_argument(
+        "--inject-fault", action=_DeprecatedSpelling,
+        preferred="--inject-faults", append=True, dest="inject_faults",
+        default=argparse.SUPPRESS, metavar="SPEC", type=parse_fault,
+        help=argparse.SUPPRESS)
+    faults.add_argument(
+        "--quarantine-policy", choices=POLICY_PRESETS,
+        default=argparse.SUPPRESS, metavar="PRESET",
+        help="source-integrity preset judging each source per window "
+        f"({', '.join(POLICY_PRESETS)})")
+    faults.add_argument(
+        "--quarantine", action=_DeprecatedSpelling,
+        preferred="--quarantine-policy", dest="quarantine_policy",
+        default=argparse.SUPPRESS, choices=POLICY_PRESETS,
+        help=argparse.SUPPRESS)
+
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--trace", metavar="DIR", default=argparse.SUPPRESS,
+        help="enable tracing and persist the run ledger to DIR")
+    obs.add_argument(
+        "--trace-dir", action=_DeprecatedSpelling, preferred="--trace",
+        dest="trace", default=argparse.SUPPRESS, metavar="DIR",
+        help=argparse.SUPPRESS)
+    obs.add_argument(
+        "--metrics-out", metavar="PATH", default=argparse.SUPPRESS,
+        help="enable metrics and write the JSON export to PATH")
+    obs.add_argument(
+        "--metrics", action=_DeprecatedSpelling, preferred="--metrics-out",
+        dest="metrics_out", default=argparse.SUPPRESS, metavar="PATH",
+        help=argparse.SUPPRESS)
+
+    store = argparse.ArgumentParser(add_help=False)
+    store.add_argument(
+        "--store", metavar="DIR", default=argparse.SUPPRESS,
+        help="persistent artifact store directory (content-addressed "
+        "stage outputs reused across runs and workers)")
+    store.add_argument(
+        "--artifact-store", action=_DeprecatedSpelling, preferred="--store",
+        dest="store", default=argparse.SUPPRESS, metavar="DIR",
+        help=argparse.SUPPRESS)
+    return [faults, obs, store]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -189,17 +286,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool width for the parallel fan-out (>= 1; "
         "results are bit-identical whatever the width)")
 
+    # The pipeline knobs, shared by every estimating subcommand so the
+    # flags parse identically before or after the subcommand name.
+    pipeline_parents = _pipeline_parents()
+
     sub.add_parser("simulate", help="build the synthetic Internet and "
                    "print its vitals")
 
-    estimate = sub.add_parser("estimate", help="run the estimation "
+    estimate = sub.add_parser("estimate", parents=pipeline_parents,
+                              help="run the estimation "
                               "pipeline on one window")
     estimate.add_argument("--window", type=_parse_window,
                           default=TimeWindow(2013.5, 2014.5))
 
     windows = sub.add_parser(
         "windows",
-        parents=[workers_parent],
+        parents=[workers_parent, *pipeline_parents],
         help="sweep the 11 standard windows through the staged engine",
     )
     windows.add_argument("--report", action="store_true",
@@ -209,21 +311,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     health = sub.add_parser(
         "health",
+        parents=pipeline_parents,
         help="per-source integrity verdicts and the pairwise "
         "agreement matrix for one window",
     )
     health.add_argument("--window", type=_parse_window,
                         default=TimeWindow(2013.5, 2014.5))
 
-    crossval = sub.add_parser("crossval", parents=[workers_parent],
+    crossval = sub.add_parser("crossval",
+                              parents=[workers_parent, *pipeline_parents],
                               help="leave-one-source-out cross-validation")
     crossval.add_argument("--window", type=_parse_window,
                           default=TimeWindow(2013.5, 2014.5))
 
-    sub.add_parser("supply", help="Table 6 supply runout forecast")
+    sub.add_parser("supply", parents=pipeline_parents,
+                   help="Table 6 supply runout forecast")
 
     sensitivity = sub.add_parser(
-        "sensitivity", parents=[workers_parent],
+        "sensitivity", parents=[workers_parent, *pipeline_parents],
         help="leave-one-source-out estimate leverage",
     )
     sensitivity.add_argument("--window", type=_parse_window,
@@ -308,7 +413,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     submit = campaign_sub.add_parser(
-        "submit", parents=[workers_parent, service_parent],
+        "submit", parents=[workers_parent, service_parent,
+                           *pipeline_parents],
         help="submit a campaign (windows x sensitivity grid) and run "
         "it to completion on the in-process backend",
     )
@@ -346,6 +452,58 @@ def build_parser() -> argparse.ArgumentParser:
                                 "sensitivity"),
                        help="which precomputed answer to serve "
                        "(default: totals)")
+
+    # Shared parent for the stream verbs: every one tails a journal.
+    journal_parent = argparse.ArgumentParser(add_help=False)
+    journal_parent.add_argument(
+        "--journal", metavar="DIR", required=True,
+        help="observation-delta journal directory (append-only, "
+        "checksummed JSONL segments)")
+
+    stream = sub.add_parser(
+        "stream",
+        help="incremental estimation over an observation-delta journal "
+        "(ingest the tail, close windows with warm refits, snapshot "
+        "state for restart)",
+    )
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+
+    stream_ingest = stream_sub.add_parser(
+        "ingest", parents=[journal_parent, *pipeline_parents],
+        help="apply the journal tail to the stream state (optionally "
+        "writing the journal first from the simulated sources)",
+    )
+    stream_ingest.add_argument(
+        "--simulate", action="store_true",
+        help="first write the standard simulated sources into the "
+        "journal, quarter by quarter (the journal must be empty)")
+    stream_ingest.add_argument(
+        "--through", type=float, default=TIME_HORIZON, metavar="YEAR",
+        help="with --simulate, journal observations up to YEAR "
+        f"(default {TIME_HORIZON})")
+    stream_ingest.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="apply at most N journal records (the rest stay in the "
+        "tail for the next ingest/advance)")
+
+    stream_advance = stream_sub.add_parser(
+        "advance", parents=[journal_parent, *pipeline_parents],
+        help="ingest the tail, close every coverable standard window "
+        "(re-closing ones invalidated by late events) and print the "
+        "growth series",
+    )
+    stream_advance.add_argument(
+        "--window", action="append", type=_parse_window, default=None,
+        metavar="START:END",
+        help="close this window instead of every coverable one "
+        "(repeatable)")
+
+    stream_sub.add_parser(
+        "snapshot", parents=[journal_parent, *pipeline_parents],
+        help="ingest the tail and persist the stream state into the "
+        "artifact store (requires --store); a later command resumes "
+        "from the snapshot plus the journal tail",
+    )
     return parser
 
 
@@ -412,20 +570,26 @@ def _pipeline(args: argparse.Namespace) -> EstimationPipeline:
 def _finalize_observability(args: argparse.Namespace) -> None:
     """Persist the run ledger and/or metrics export, if requested."""
     pipeline = getattr(args, "_obs_pipeline", None)
-    if pipeline is None or not (args.trace or args.metrics_out):
+    stream = getattr(args, "_obs_stream", None)
+    if (pipeline is None and stream is None) or not (
+        args.trace or args.metrics_out
+    ):
         return
-    observer = pipeline.engine.observer
+    if pipeline is not None:
+        observer = pipeline.engine.observer
+    else:
+        observer = stream.observer
+    if pipeline is not None:
+        report, cache = pipeline.report, pipeline.engine.cache
+    else:
+        report, cache = stream.report, None
     ledger = getattr(args, "_obs_ledger", None)
     if ledger is not None:
-        run_dir = ledger.finalize(
-            observer, report=pipeline.report, cache=pipeline.engine.cache
-        )
+        run_dir = ledger.finalize(observer, report=report, cache=cache)
         print(f"\nrun ledger written to {run_dir} "
               f"(render with: python -m repro report {run_dir})")
     else:
-        absorb_engine_accounting(
-            observer, report=pipeline.report, cache=pipeline.engine.cache
-        )
+        absorb_engine_accounting(observer, report=report, cache=cache)
     if args.metrics_out:
         from pathlib import Path
 
@@ -435,9 +599,8 @@ def _finalize_observability(args: argparse.Namespace) -> None:
         print(f"metrics written to {path}")
 
 
-def _print_fault_summary(pipeline: EstimationPipeline) -> None:
+def _print_fault_summary(report) -> None:
     """One line per degraded task, if the run was not clean."""
-    report = pipeline.report
     degraded = report.degraded_records()
     if not degraded and not report.retry_count:
         return
@@ -603,7 +766,7 @@ def cmd_windows(args: argparse.Namespace) -> int:
     if not results:
         print("every window degraded; no estimates produced",
               file=sys.stderr)
-        _print_fault_summary(pipeline)
+        _print_fault_summary(pipeline.report)
         return 1
     series = series_from_results(results)
     scale = pipeline.internet.config.scale
@@ -622,7 +785,7 @@ def cmd_windows(args: argparse.Namespace) -> int:
                 if result.health is not None else [],
             ))
     _print_growth_rate(series)
-    _print_fault_summary(pipeline)
+    _print_fault_summary(pipeline.report)
     if args.report:
         print()
         print(pipeline.report.summary())
@@ -649,7 +812,7 @@ def cmd_crossval(args: argparse.Namespace) -> int:
         rows,
         title=f"cross-validation, window {args.window.label()}",
     ))
-    _print_fault_summary(pipeline)
+    _print_fault_summary(pipeline.report)
     return 0
 
 
@@ -696,7 +859,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
         f"({args.window.label()}); "
         f"robust: {report.is_robust()}",
     ))
-    _print_fault_summary(pipeline)
+    _print_fault_summary(pipeline.report)
     return 0
 
 
@@ -844,7 +1007,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"campaign {args.campaign_id} is {status.state}; results "
               "are published at completion", file=sys.stderr)
         return 1
-    ledger = scheduler.ledger(args.campaign_id)
+    try:
+        ledger = scheduler.ledger(args.campaign_id)
+    except LedgerSchemaError as exc:
+        print(f"cannot read campaign {args.campaign_id} ledger: {exc}",
+              file=sys.stderr)
+        return 2
     spec = ledger.spec()
     scale = 2.0 ** spec.scale_log2
     series = ledger.growth_series()
@@ -932,6 +1100,10 @@ def cmd_query(args: argparse.Namespace) -> int:
               f"(still running, or unknown under {args.service})",
               file=sys.stderr)
         return 2
+    except LedgerSchemaError as exc:
+        print(f"cannot read campaign {campaign_id} ledger: {exc}",
+              file=sys.stderr)
+        return 2
     spec = ledger.spec()
     scale = 2.0 ** spec.scale_log2
     if args.what == "totals":
@@ -983,6 +1155,159 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream(args: argparse.Namespace) -> StreamEstimator:
+    """A stream estimator resumed under the CLI's execution policy.
+
+    Mirrors :func:`_pipeline` knob for knob — same options, policy,
+    fault injector, observer and store wiring — so a stream close
+    computes exactly what the batch subcommands would.
+    """
+    internet = _internet(args)
+    policy = ExecutionPolicy(
+        retries=args.retries, task_timeout=args.task_timeout
+    )
+    stage_specs = [
+        s for s in args.inject_faults if not isinstance(s, SourceFaultSpec)
+    ]
+    faults = (
+        FaultInjector(stage_specs, seed=args.seed) if stage_specs else None
+    )
+    options = PipelineOptions(
+        quarantine=QuarantinePolicy.named(args.quarantine_policy),
+        batch_fits=args.batch_fits,
+    )
+    observer = Observer() if (args.trace or args.metrics_out) else None
+    store = (
+        open_store(args.store, observer=observer, faults=faults)
+        if args.store
+        else None
+    )
+    stream = StreamEstimator.resume(
+        internet,
+        DeltaJournal(args.journal),
+        options=options,
+        policy=policy,
+        store=store,
+        observer=observer,
+        faults=faults,
+    )
+    if observer is not None and args.trace:
+        args._obs_ledger = RunLedger(
+            args.trace, seed=args.seed, options=stream.options, policy=policy
+        )
+    args._obs_stream = stream
+    return stream
+
+
+def _print_snapshot_line(stream: StreamEstimator) -> None:
+    stream.snapshot()
+    print(f"snapshot written (journal {stream.journal.journal_id}, "
+          f"seq {stream.next_seq})")
+
+
+def _cmd_stream_ingest(args: argparse.Namespace) -> int:
+    """Apply the journal tail (optionally simulating the journal first)."""
+    if args.simulate:
+        from repro.sources.catalog import build_standard_sources
+
+        internet = _internet(args)
+        sources = build_standard_sources(internet)
+        source_specs = [
+            s for s in args.inject_faults if isinstance(s, SourceFaultSpec)
+        ]
+        if source_specs:
+            sources = apply_source_faults(
+                sources, source_specs, seed=args.seed,
+                spoof_support=internet.registry.allocated_space(),
+            )
+        try:
+            journal = journal_from_sources(
+                sources, args.journal, through=args.through
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"journal {args.journal}: wrote {len(journal)} record(s) "
+              f"from {len(sources)} simulated source(s)")
+    stream = _stream(args)
+    applied = stream.ingest(limit=args.limit)
+    remaining = len(stream.journal) - stream.next_seq
+    print(f"ingested {applied} record(s) "
+          f"(next seq {stream.next_seq}, {remaining} in tail)")
+    end = stream.coverage_end()
+    coverage = f"{end:.2f}" if end is not None else "none"
+    print(f"sources: {len(stream.sources())}  coverage: through {coverage}"
+          f"  closeable windows: {len(stream.closeable_windows())}")
+    if stream.store is not None:
+        _print_snapshot_line(stream)
+    return 0
+
+
+def _cmd_stream_advance(args: argparse.Namespace) -> int:
+    """Ingest the tail, close every coverable window, print the series."""
+    from repro.analysis.growth import series_from_results
+
+    stream = _stream(args)
+    results = stream.advance(args.window)
+    if not results:
+        print("journal covers no standard window yet; nothing to close",
+              file=sys.stderr)
+        return 1
+    series = series_from_results(results)
+    scale = stream.internet.config.scale
+    _print_sweep_table(
+        series, scale,
+        title=f"stream window sweep (journal {stream.journal.journal_id})",
+    )
+    for result in results:
+        if result.is_degraded:
+            print(_degraded_refit_line(
+                result.window.label(),
+                result.excluded_sources,
+                [n for n, _ in result.health.dropped]
+                if result.health is not None else [],
+            ))
+    _print_growth_rate(series)
+    for result in results:
+        revision = stream.revision_of(result.window)
+        if revision:
+            print(f"window {result.window.label()}: revision {revision} "
+                  "(late events absorbed)")
+    _print_fault_summary(stream.report)
+    if stream.store is not None:
+        _print_snapshot_line(stream)
+    return 0
+
+
+def _cmd_stream_snapshot(args: argparse.Namespace) -> int:
+    """Ingest the tail and persist the stream state into the store."""
+    stream = _stream(args)
+    if stream.store is None:
+        print("stream snapshot requires --store DIR", file=sys.stderr)
+        return 2
+    stream.ingest()
+    status = stream.describe()
+    rows = [
+        [name, meta["quarters"], meta["addresses"]]
+        for name, meta in status["sources"].items()
+    ]
+    if rows:
+        print(format_table(["source", "quarters", "addresses"], rows))
+    print(f"closed windows: {len(status['closed_windows'])}  "
+          f"stale: {len(status['stale_windows'])}")
+    _print_snapshot_line(stream)
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Dispatch the streaming verbs (ingest/advance/snapshot)."""
+    if args.stream_command == "ingest":
+        return _cmd_stream_ingest(args)
+    if args.stream_command == "advance":
+        return _cmd_stream_advance(args)
+    return _cmd_stream_snapshot(args)
+
+
 COMMANDS = {
     "simulate": cmd_simulate,
     "estimate": cmd_estimate,
@@ -997,6 +1322,7 @@ COMMANDS = {
     "store": cmd_store,
     "campaign": cmd_campaign,
     "query": cmd_query,
+    "stream": cmd_stream,
 }
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping
 
-from repro._aliases import resolve_deprecated_aliases
+from repro._aliases import resolve_deprecated_aliases, warn_legacy_entry_point
 from repro.core.histories import ContingencyTable, tabulate_histories
 from repro.core.loglinear import PopulationEstimate
 from repro.core.profile_ci import (
@@ -112,6 +112,7 @@ class CaptureRecapture:
         sources: Mapping[str, IPSet],
         options: EstimatorOptions | None = None,
     ) -> None:
+        warn_legacy_entry_point("CaptureRecapture", "repro.Session.from_sets")
         if len(sources) < 2:
             raise ValueError("capture-recapture needs at least two sources")
         self.sources = dict(sources)

@@ -441,6 +441,12 @@ class Executor:
         exhausted failure is recorded as ``failed`` and re-raised for
         the surrounding sweep to degrade or propagate.
         """
+        # The kernel's warm-store/batching knobs are process-wide and a
+        # different Executor (e.g. a streaming one) may have installed
+        # its own since this one was constructed; re-assert ours so
+        # interleaved executors never seed each other's fits.
+        fitkernel.set_warm_store(getattr(self.cache, "fitmemo", None))
+        fitkernel.set_batch_fits(self.options.batch_fits)
         spec = STAGES[stage]
         key = self.key_for(stage, window, **params)
         # Non-cacheable stages (e.g. the fit_batch plan, whose per-level

@@ -26,7 +26,12 @@ from repro.service.campaign import (
     CampaignTask,
     decompose,
 )
-from repro.service.queryledger import QueryLedger, build_ledger, entry_key
+from repro.service.queryledger import (
+    LedgerSchemaError,
+    QueryLedger,
+    build_ledger,
+    entry_key,
+)
 from repro.service.scheduler import (
     CampaignScheduler,
     default_executor_factory,
@@ -40,6 +45,7 @@ __all__ = [
     "CampaignTask",
     "InProcessBackend",
     "Lease",
+    "LedgerSchemaError",
     "QueryLedger",
     "SchedulerBackend",
     "build_ledger",

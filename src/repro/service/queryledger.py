@@ -42,6 +42,36 @@ LEDGER_SCHEMA_VERSION = 1
 LEDGER_FILENAME = "ledger.json"
 
 
+class LedgerSchemaError(ValueError):
+    """A ledger document this reader cannot interpret.
+
+    Carries the ``found`` schema version (``None`` when the document
+    has no ``schema`` field at all) and the ``supported`` version this
+    build reads, so callers can distinguish "written by a newer build"
+    from "not a ledger" without parsing the message.
+    """
+
+    def __init__(self, found: Any, supported: int = LEDGER_SCHEMA_VERSION):
+        self.found = found
+        self.supported = supported
+        if found is None:
+            detail = (
+                "document has no schema field (not a query ledger, or "
+                "written before ledgers were versioned)"
+            )
+        elif isinstance(found, int) and found > supported:
+            detail = (
+                f"query ledger schema {found} was written by a newer build; "
+                f"this build reads schema {supported} — upgrade to read it"
+            )
+        else:
+            detail = (
+                f"query ledger schema {found!r} unsupported "
+                f"(this build reads {supported})"
+            )
+        super().__init__(detail)
+
+
 def entry_key(
     options: Any, bounds: Sequence[float], exclude: Sequence[str] = ()
 ) -> str:
@@ -118,10 +148,7 @@ class QueryLedger:
     def __init__(self, document: Mapping[str, Any], path: Path | None = None):
         schema = document.get("schema")
         if schema != LEDGER_SCHEMA_VERSION:
-            raise ValueError(
-                f"query ledger schema {schema} unsupported "
-                f"(this build reads {LEDGER_SCHEMA_VERSION})"
-            )
+            raise LedgerSchemaError(schema)
         self.document = document
         self.path = path
 

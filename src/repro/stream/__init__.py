@@ -1,0 +1,42 @@
+"""Streaming/incremental estimation over an observation-delta journal.
+
+The batch pipeline recomputes every window from scratch; this package
+makes observations *deltas*.  A :class:`DeltaJournal` is the durable
+append-only history (checksummed JSONL segments, crash-safe replay);
+an :class:`IncrementalTabulator` keeps contingency-table cells current
+in O(changed cells) per delta batch; and a :class:`StreamEstimator`
+closes windows on demand through the ordinary stage pipeline — so a
+replayed journal reproduces the batch ``windows`` sweep exactly —
+with final refits warm-started from the previous window and state
+snapshots persisted through the content-addressed artifact store.
+
+See ``docs/STREAM.md`` for the journal format and the snapshot/replay
+invariants.
+"""
+
+from repro.stream.journal import (
+    DeltaJournal,
+    JournalCorruptionError,
+    ObservationDelta,
+    SourceRecord,
+    journal_from_sources,
+)
+from repro.stream.estimator import (
+    ClosedWindow,
+    JournalSource,
+    StreamEstimator,
+)
+from repro.stream.tabulator import IncrementalTabulator, TabulatorDriftError
+
+__all__ = [
+    "ClosedWindow",
+    "DeltaJournal",
+    "IncrementalTabulator",
+    "JournalCorruptionError",
+    "JournalSource",
+    "ObservationDelta",
+    "SourceRecord",
+    "StreamEstimator",
+    "TabulatorDriftError",
+    "journal_from_sources",
+]

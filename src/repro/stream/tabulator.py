@@ -1,0 +1,273 @@
+"""Incremental contingency-table maintenance in O(changed cells).
+
+:class:`IncrementalTabulator` holds the same state
+:func:`~repro.core.histories.tabulate_histories` derives from scratch —
+per-history cell counts, optionally per stratum — but updates it as
+deltas arrive: an address whose capture-history bitmask flips moves one
+unit of count from its old cell to its new cell, and nothing else is
+touched.  A delta batch therefore costs O(addresses in the batch), not
+O(union of all sources), and the table for *any* source subset or
+stratum is available at any moment without a rescan.
+
+Membership is refcounted per (source, address): the streaming window
+spans several quarters and the same source may observe an address in
+more than one of them, so an expiring quarter must not evict an address
+another in-window quarter still vouches for.  ``add`` increments,
+``remove`` decrements, and the history bit is set exactly while the
+count is positive.  Removing an address that is not present is an
+error — silent tolerance there would let a buggy caller drift away
+from the from-scratch truth :meth:`verify` checks against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.histories import ContingencyTable, tabulate_histories
+from repro.core.stratified import Labeler, split_sources_by_label
+from repro.ipspace.ipset import IPSet
+
+_SINGLE_STRATUM: Hashable = None
+
+#: Sentinel asking :meth:`IncrementalTabulator.table` for the combined
+#: (all-strata) table; ``None`` itself stays usable as a stratum label.
+COMBINED = object()
+
+
+class TabulatorDriftError(AssertionError):
+    """Incremental state diverged from from-scratch tabulation."""
+
+
+class IncrementalTabulator:
+    """Contingency-table cell counts maintained under add/remove deltas."""
+
+    def __init__(
+        self,
+        source_names: Iterable[str],
+        *,
+        labeler: Labeler | None = None,
+    ) -> None:
+        self.source_names: tuple[str, ...] = tuple(source_names)
+        if not self.source_names:
+            raise ValueError("at least one source required")
+        if len(set(self.source_names)) != len(self.source_names):
+            raise ValueError("duplicate source names")
+        self.labeler = labeler
+        self._bits = {name: bit for bit, name in enumerate(self.source_names)}
+        self._cells = 2 ** len(self.source_names)
+        # addr -> current history bitmask (absent == history 0).
+        self._masks: dict[int, int] = {}
+        # addr -> stratum label, computed once (labels are pure in addr).
+        self._labels: dict[int, Hashable] = {}
+        # per source: addr -> quarters-vouching refcount.
+        self._refs: dict[str, dict[int, int]] = {
+            name: {} for name in self.source_names
+        }
+        # per stratum: 2^t cell counts (history 0 structurally zero).
+        self._counts: dict[Hashable, np.ndarray] = {}
+        self.deltas_applied = 0
+        self.addresses_touched = 0
+        self.cells_touched = 0
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.source_names)
+
+    # -- updates -----------------------------------------------------------
+
+    def _label_of(self, addr: int) -> Hashable:
+        if self.labeler is None:
+            return _SINGLE_STRATUM
+        label = self._labels.get(addr)
+        if label is None and addr not in self._labels:
+            raw = self.labeler(np.asarray([addr], dtype=np.uint32))[0]
+            label = raw.item() if hasattr(raw, "item") else raw
+            self._labels[addr] = label
+        return label
+
+    def _counts_for(self, label: Hashable) -> np.ndarray:
+        counts = self._counts.get(label)
+        if counts is None:
+            counts = np.zeros(self._cells, dtype=np.int64)
+            self._counts[label] = counts
+        return counts
+
+    def _move(self, addr: int, old_mask: int, new_mask: int) -> None:
+        counts = self._counts_for(self._label_of(addr))
+        if old_mask:
+            counts[old_mask] -= 1
+            self.cells_touched += 1
+        if new_mask:
+            counts[new_mask] += 1
+            self._masks[addr] = new_mask
+            self.cells_touched += 1
+        else:
+            del self._masks[addr]
+
+    def add(self, source: str, addresses: Iterable[int] | np.ndarray) -> int:
+        """Record one more observation of each address by ``source``.
+
+        Returns the number of addresses whose history bit turned on.
+        """
+        bit = 1 << self._bits[source]
+        refs = self._refs[source]
+        flipped = 0
+        for addr in np.asarray(
+            list(addresses) if not isinstance(addresses, np.ndarray) else addresses,
+            dtype=np.uint32,
+        ).tolist():
+            count = refs.get(addr, 0)
+            refs[addr] = count + 1
+            self.addresses_touched += 1
+            if count == 0:
+                old = self._masks.get(addr, 0)
+                self._move(addr, old, old | bit)
+                flipped += 1
+        self.deltas_applied += 1
+        return flipped
+
+    def remove(self, source: str, addresses: Iterable[int] | np.ndarray) -> int:
+        """Withdraw one observation of each address by ``source``.
+
+        Returns the number of addresses whose history bit turned off.
+        """
+        bit = 1 << self._bits[source]
+        refs = self._refs[source]
+        flipped = 0
+        for addr in np.asarray(
+            list(addresses) if not isinstance(addresses, np.ndarray) else addresses,
+            dtype=np.uint32,
+        ).tolist():
+            count = refs.get(addr, 0)
+            if count <= 0:
+                raise ValueError(
+                    f"remove of address {addr} not observed by {source!r}"
+                )
+            self.addresses_touched += 1
+            if count == 1:
+                del refs[addr]
+                old = self._masks[addr]
+                self._move(addr, old, old & ~bit)
+                flipped += 1
+            else:
+                refs[addr] = count - 1
+        self.deltas_applied += 1
+        return flipped
+
+    # -- views -------------------------------------------------------------
+
+    def members(self, source: str) -> IPSet:
+        """Current membership of one source (refcount > 0)."""
+        refs = self._refs[source]
+        return IPSet(np.fromiter(refs.keys(), dtype=np.uint32, count=len(refs)))
+
+    def sets(self) -> dict[str, IPSet]:
+        """All current source memberships, in declared order."""
+        return {name: self.members(name) for name in self.source_names}
+
+    def _nonempty_names(self) -> tuple[str, ...]:
+        return tuple(n for n in self.source_names if self._refs[n])
+
+    def _combined_counts(self) -> np.ndarray:
+        total = np.zeros(self._cells, dtype=np.int64)
+        for counts in self._counts.values():
+            total += counts
+        return total
+
+    def table(
+        self, *, stratum: Hashable = COMBINED, drop_empty: bool = False
+    ) -> ContingencyTable:
+        """The current contingency table (one stratum, or combined).
+
+        The default is the combined table across every stratum (the
+        whole population when no labeler is set).  ``drop_empty``
+        marginalises away sources with no current members — the batch
+        pipeline's per-window empty-source-drop path (empty sources
+        contribute no bits, so the collapse only relabels cells).
+        """
+        if stratum is COMBINED:
+            counts = self._combined_counts()
+        else:
+            counts = self._counts.get(stratum)
+            counts = counts.copy() if counts is not None else np.zeros(
+                self._cells, dtype=np.int64
+            )
+        table = ContingencyTable(self.num_sources, counts, self.source_names)
+        if drop_empty:
+            keep = [self._bits[name] for name in self._nonempty_names()]
+            if len(keep) != self.num_sources:
+                table = table.collapse(keep)
+        return table
+
+    def tables(self) -> dict[Hashable, ContingencyTable]:
+        """Per-stratum tables for every stratum seen so far."""
+        return {
+            label: ContingencyTable(
+                self.num_sources, counts.copy(), self.source_names
+            )
+            for label, counts in sorted(
+                self._counts.items(), key=lambda item: repr(item[0])
+            )
+        }
+
+    @property
+    def num_observed(self) -> int:
+        """Total currently observed individuals across all strata."""
+        return int(self._combined_counts().sum())
+
+    def observed_union(self) -> IPSet:
+        """Union of every source's current membership."""
+        masks = self._masks
+        return IPSet(np.fromiter(masks.keys(), dtype=np.uint32, count=len(masks)))
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check every cell against from-scratch tabulation, or raise.
+
+        Rebuilds the table(s) with
+        :func:`~repro.core.histories.tabulate_histories` from the
+        current memberships and compares cell-for-cell; per-stratum
+        counts are additionally checked against
+        :func:`~repro.core.stratified.split_sources_by_label`.
+        """
+        sets = self.sets()
+        scratch = tabulate_histories(sets)
+        live = self.table()
+        if not np.array_equal(scratch.counts, live.counts):
+            diff = int(np.count_nonzero(scratch.counts != live.counts))
+            raise TabulatorDriftError(
+                f"incremental table diverged from scratch in {diff} cells"
+            )
+        if self.labeler is not None:
+            per_label = split_sources_by_label(sets, self.labeler)
+            seen = {
+                label for label, counts in self._counts.items()
+                if counts.any()
+            }
+            for label, split in per_label.items():
+                expected = tabulate_histories(split)
+                got = self.table(stratum=label)
+                if not np.array_equal(expected.counts, got.counts):
+                    diff = int(
+                        np.count_nonzero(expected.counts != got.counts)
+                    )
+                    raise TabulatorDriftError(
+                        f"stratum {label!r} diverged from scratch in {diff} cells"
+                    )
+                seen.discard(label)
+            if seen:
+                raise TabulatorDriftError(
+                    f"live strata {sorted(map(repr, seen))} hold counts "
+                    "but no members exist there"
+                )
+
+    def counters(self) -> Mapping[str, int]:
+        """Monotonic update counters, for the obs registry."""
+        return {
+            "deltas_applied": self.deltas_applied,
+            "addresses_touched": self.addresses_touched,
+            "cells_touched": self.cells_touched,
+        }

@@ -1,0 +1,46 @@
+"""LedgerSchemaError: structured attributes and the three-way message."""
+
+import pytest
+
+from repro.service.queryledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerSchemaError,
+)
+
+
+class TestAttributes:
+    def test_carries_found_and_supported(self):
+        err = LedgerSchemaError(7)
+        assert err.found == 7
+        assert err.supported == LEDGER_SCHEMA_VERSION
+
+    def test_supported_can_be_overridden(self):
+        err = LedgerSchemaError(5, supported=4)
+        assert err.supported == 4
+
+    def test_is_a_value_error(self):
+        assert issubclass(LedgerSchemaError, ValueError)
+
+
+class TestMessages:
+    def test_missing_schema_field(self):
+        message = str(LedgerSchemaError(None))
+        assert "no schema field" in message
+
+    def test_newer_build_wording(self):
+        message = str(LedgerSchemaError(LEDGER_SCHEMA_VERSION + 1))
+        assert "newer build" in message
+        assert str(LEDGER_SCHEMA_VERSION + 1) in message
+        assert str(LEDGER_SCHEMA_VERSION) in message
+
+    def test_non_integer_schema_is_unsupported_not_newer(self):
+        message = str(LedgerSchemaError("v2"))
+        assert "unsupported" in message
+        assert "newer build" not in message
+
+    def test_older_integer_schema_is_unsupported_not_newer(self):
+        # Only strictly-newer versions get the upgrade hint; an older
+        # int means the document predates this reader's floor.
+        message = str(LedgerSchemaError(0))
+        assert "unsupported" in message
+        assert "newer build" not in message

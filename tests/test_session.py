@@ -1,0 +1,147 @@
+"""The unified Session facade and the legacy-constructor shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.analysis.pipeline import EstimationPipeline
+from repro.core.estimator import CaptureRecapture
+from repro.engine.stages import PipelineOptions
+from repro.stream.estimator import StreamEstimator
+from repro.stream.journal import journal_from_sources
+
+
+@pytest.fixture()
+def toy_sets(rng):
+    from tests.conftest import make_independent_sources
+
+    _, sources = make_independent_sources(rng, 2000, [0.4, 0.5, 0.3])
+    return sources
+
+
+class TestConstruction:
+    def test_direct_construction_is_rejected(self):
+        with pytest.raises(TypeError, match="from_sets"):
+            Session()
+
+    def test_from_sets_requires_two_sources(self, toy_sets):
+        only = {"S0": next(iter(toy_sets.values()))}
+        with pytest.raises(ValueError, match="at least two"):
+            Session.from_sets(only)
+
+    def test_repr_names_the_mode(self, toy_sets):
+        assert "sets" in repr(Session.from_sets(toy_sets))
+
+
+class TestModeGating:
+    def test_sets_session_has_no_sweep(self, toy_sets):
+        session = Session.from_sets(toy_sets)
+        with pytest.raises(ValueError, match="from_simulation"):
+            session.sweep()
+
+    def test_sets_session_has_no_stream(self, toy_sets):
+        session = Session.from_sets(toy_sets)
+        with pytest.raises(ValueError, match="from_journal"):
+            session.stream()
+
+    def test_sets_estimate_rejects_window(self, toy_sets, last_window):
+        session = Session.from_sets(toy_sets)
+        with pytest.raises(ValueError, match="no time axis"):
+            session.estimate(window=last_window)
+
+    def test_simulation_session_has_no_stream(self, tiny_internet):
+        session = Session.from_simulation(tiny_internet)
+        with pytest.raises(ValueError, match="from_journal"):
+            session.stream()
+
+    def test_journal_session_has_no_campaign_spec(self, tiny_internet, tmp_path):
+        session = Session.from_journal(tmp_path / "journal", internet=tiny_internet)
+        with pytest.raises(ValueError, match="from_simulation"):
+            session.campaign_spec()
+
+
+class TestFacadeEquivalence:
+    def test_from_sets_matches_capture_recapture(self, toy_sets):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = CaptureRecapture(toy_sets).estimate()
+        unified = Session.from_sets(toy_sets).estimate()
+        assert unified.population == pytest.approx(legacy.population)
+        assert unified.observed == legacy.observed
+        assert unified.terms == legacy.terms
+
+    def test_from_simulation_matches_pipeline(
+        self, tiny_internet, tiny_sources, last_window, last_window_result
+    ):
+        session = Session.from_simulation(
+            tiny_internet,
+            sources=tiny_sources,
+            options=PipelineOptions(min_stratum_observed=25),
+        )
+        result = session.estimate(last_window)
+        np.testing.assert_allclose(
+            result.estimated_addresses,
+            last_window_result.estimated_addresses,
+            rtol=1e-8,
+        )
+        assert result.excluded_sources == last_window_result.excluded_sources
+
+    def test_from_journal_streams_the_latest_coverable_window(
+        self, tiny_internet, tiny_sources, tmp_path, first_window, tiny_pipeline
+    ):
+        journal_from_sources(
+            tiny_sources, tmp_path / "journal", through=2012.0
+        )
+        session = Session.from_journal(
+            tmp_path / "journal",
+            internet=tiny_internet,
+            options=PipelineOptions(min_stratum_observed=25),
+        )
+        stream = session.stream()
+        assert isinstance(stream, StreamEstimator)
+        result = session.estimate()  # latest coverable == the first window
+        assert result.window == first_window
+        batch = tiny_pipeline.run_window(first_window)
+        np.testing.assert_allclose(
+            result.estimated_addresses, batch.estimated_addresses, rtol=1e-8
+        )
+
+    def test_empty_journal_estimate_is_a_clear_error(
+        self, tiny_internet, tmp_path
+    ):
+        session = Session.from_journal(
+            tmp_path / "journal", internet=tiny_internet
+        )
+        with pytest.raises(ValueError, match="no fully-covered"):
+            session.estimate()
+
+    def test_campaign_spec_captures_the_session_shape(self, tiny_internet):
+        options = PipelineOptions(min_stratum_observed=25)
+        session = Session.from_simulation(
+            tiny_internet, scale_log2=-13, seed=123, options=options
+        )
+        spec = session.campaign_spec(drop_sources=("WIKI",))
+        assert spec.scale_log2 == -13
+        assert spec.seed == 123
+        assert spec.drop_sources == ("WIKI",)
+        assert len(spec.windows) == 11
+        assert spec.options == options
+
+
+class TestDeprecationShims:
+    def test_capture_recapture_warns_externally(self, toy_sets):
+        with pytest.warns(DeprecationWarning, match="Session.from_sets"):
+            CaptureRecapture(toy_sets)
+
+    def test_estimation_pipeline_warns_externally(
+        self, tiny_internet, tiny_sources
+    ):
+        with pytest.warns(DeprecationWarning, match="Session.from_simulation"):
+            EstimationPipeline(tiny_internet, tiny_sources)
+
+    def test_session_internal_use_is_silent(self, toy_sets):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Session.from_sets(toy_sets).estimate()
